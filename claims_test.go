@@ -1,0 +1,229 @@
+package ppcsim_test
+
+import (
+	"testing"
+
+	"ppcsim"
+)
+
+// This file pins the paper's headline findings (section 1.4, "Summary of
+// results") as executable assertions. The runs use half-length traces to
+// stay fast; the shapes they check are scale-invariant.
+
+func claimTrace(t *testing.T, name string) *ppcsim.Trace {
+	t.Helper()
+	tr, err := ppcsim.NewTrace(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Truncate(len(tr.Refs) / 2)
+}
+
+func claimRun(t *testing.T, tr *ppcsim.Trace, alg ppcsim.Algorithm, disks int) ppcsim.Result {
+	t.Helper()
+	r, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: disks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Claim 1: "All four algorithms significantly outperform demand fetching,
+// even when advance knowledge ... is used to make optimal replacement
+// decisions in conjunction with demand fetching."
+func TestClaimPrefetchingBeatsOptimalDemand(t *testing.T) {
+	for _, name := range []string{"postgres-select", "cscope2", "ld", "synth"} {
+		tr := claimTrace(t, name)
+		for _, d := range []int{1, 4} {
+			dm := claimRun(t, tr, ppcsim.Demand, d)
+			for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall} {
+				r := claimRun(t, tr, alg, d)
+				if r.ElapsedSec >= dm.ElapsedSec {
+					t.Errorf("%s/d=%d: %s (%.3fs) does not beat optimal demand (%.3fs)",
+						name, d, alg, r.ElapsedSec, dm.ElapsedSec)
+				}
+			}
+		}
+	}
+}
+
+// Claim 2: near-linear reduction in I/O stall with added disks until the
+// application becomes compute-bound.
+func TestClaimStallShrinksWithDisks(t *testing.T) {
+	tr := claimTrace(t, "postgres-select")
+	prev := -1.0
+	for _, d := range []int{1, 2, 4, 8} {
+		r := claimRun(t, tr, ppcsim.FixedHorizon, d)
+		if prev >= 0 && r.StallTimeSec > prev+0.05 {
+			t.Errorf("d=%d: stall %.3fs grew from %.3fs", d, r.StallTimeSec, prev)
+		}
+		prev = r.StallTimeSec
+	}
+	one := claimRun(t, tr, ppcsim.FixedHorizon, 1)
+	eight := claimRun(t, tr, ppcsim.FixedHorizon, 8)
+	if eight.StallTimeSec > one.StallTimeSec/4 {
+		t.Errorf("8 disks should cut 1-disk stall (%.3fs) by far more; got %.3fs",
+			one.StallTimeSec, eight.StallTimeSec)
+	}
+}
+
+// Claim 3: aggressive wins I/O-bound, fixed horizon wins compute-bound,
+// with a crossover as disks are added (the paper's synth behavior).
+func TestClaimCrossover(t *testing.T) {
+	tr := claimTrace(t, "synth")
+	ag1 := claimRun(t, tr, ppcsim.Aggressive, 1)
+	fh1 := claimRun(t, tr, ppcsim.FixedHorizon, 1)
+	if ag1.ElapsedSec >= fh1.ElapsedSec {
+		t.Errorf("1 disk (I/O bound): aggressive %.3fs should beat fixed horizon %.3fs",
+			ag1.ElapsedSec, fh1.ElapsedSec)
+	}
+	ag4 := claimRun(t, tr, ppcsim.Aggressive, 4)
+	fh4 := claimRun(t, tr, ppcsim.FixedHorizon, 4)
+	if fh4.ElapsedSec >= ag4.ElapsedSec {
+		t.Errorf("4 disks (compute bound): fixed horizon %.3fs should beat aggressive %.3fs",
+			fh4.ElapsedSec, ag4.ElapsedSec)
+	}
+	// The compute-bound loss is driver overhead from wasted fetches.
+	if ag4.Fetches <= fh4.Fetches {
+		t.Errorf("aggressive should waste fetches at 4 disks: %d vs %d", ag4.Fetches, fh4.Fetches)
+	}
+}
+
+// Claim 4/5: forestall performs close to the best of fixed horizon and
+// aggressive in every configuration (paper: between 2% worse and 5.8%
+// better on the application traces; we allow 10%).
+func TestClaimForestallTracksBest(t *testing.T) {
+	for _, name := range []string{"synth", "cscope2", "glimpse", "postgres-select", "ld"} {
+		tr := claimTrace(t, name)
+		for _, d := range []int{1, 2, 4} {
+			fo := claimRun(t, tr, ppcsim.Forestall, d)
+			fh := claimRun(t, tr, ppcsim.FixedHorizon, d)
+			ag := claimRun(t, tr, ppcsim.Aggressive, d)
+			best := fh.ElapsedSec
+			if ag.ElapsedSec < best {
+				best = ag.ElapsedSec
+			}
+			if fo.ElapsedSec > best*1.10 {
+				t.Errorf("%s/d=%d: forestall %.3fs vs best(fh=%.3f, ag=%.3f)",
+					name, d, fo.ElapsedSec, fh.ElapsedSec, ag.ElapsedSec)
+			}
+		}
+	}
+}
+
+// Claim: reverse aggressive (best parameters) is close to the best of
+// fixed horizon and aggressive, and never much better — choosing
+// replacements to balance load is unnecessary when data is striped.
+func TestClaimReverseAggressiveCloseToBest(t *testing.T) {
+	for _, name := range []string{"cscope1", "postgres-select"} {
+		tr := claimTrace(t, name)
+		for _, d := range []int{1, 4} {
+			ra, err := ppcsim.RunBestReverseAggressive(ppcsim.Options{Trace: tr, Disks: d},
+				[]float64{2, 4, 16, 64}, []int{8, 40, 160})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fh := claimRun(t, tr, ppcsim.FixedHorizon, d)
+			ag := claimRun(t, tr, ppcsim.Aggressive, d)
+			best := fh.ElapsedSec
+			if ag.ElapsedSec < best {
+				best = ag.ElapsedSec
+			}
+			if ra.ElapsedSec > best*1.15 {
+				t.Errorf("%s/d=%d: reverse aggressive %.3fs much worse than best %.3fs", name, d, ra.ElapsedSec, best)
+			}
+			if ra.ElapsedSec < best*0.75 {
+				t.Errorf("%s/d=%d: reverse aggressive %.3fs suspiciously better than best %.3fs", name, d, ra.ElapsedSec, best)
+			}
+		}
+	}
+}
+
+// Claim: "Fixed horizon consistently places the least I/O load on the
+// disks ... Reverse aggressive and forestall are intermediate between
+// aggressive and fixed horizon" — checked via utilization and fetch
+// counts on postgres-select (the paper's Tables 4 and 8).
+func TestClaimUtilizationOrdering(t *testing.T) {
+	tr := claimTrace(t, "postgres-select")
+	for _, d := range []int{2, 4} {
+		dm := claimRun(t, tr, ppcsim.Demand, d)
+		fh := claimRun(t, tr, ppcsim.FixedHorizon, d)
+		ag := claimRun(t, tr, ppcsim.Aggressive, d)
+		fo := claimRun(t, tr, ppcsim.Forestall, d)
+		if dm.AvgUtilization > fh.AvgUtilization+0.05 {
+			t.Errorf("d=%d: demand utilization %.2f above fixed horizon %.2f", d, dm.AvgUtilization, fh.AvgUtilization)
+		}
+		// "Load" in the paper's sense is the number of fetches the policy
+		// issues: demand <= fixed horizon <= forestall <= aggressive.
+		// (Utilization also reflects per-request service times, which
+		// CSCAN improves for the batched algorithms, so it is not a clean
+		// ordering at every array size.)
+		if dm.Fetches > fh.Fetches {
+			t.Errorf("d=%d: demand fetches %d above fixed horizon %d", d, dm.Fetches, fh.Fetches)
+		}
+		if ag.Fetches < fh.Fetches {
+			t.Errorf("d=%d: aggressive fetches %d below fixed horizon %d", d, ag.Fetches, fh.Fetches)
+		}
+		if fo.Fetches > ag.Fetches {
+			t.Errorf("d=%d: forestall fetches %d above aggressive %d", d, fo.Fetches, ag.Fetches)
+		}
+		if fo.AvgUtilization > ag.AvgUtilization+0.10 {
+			t.Errorf("d=%d: forestall utilization %.2f above aggressive %.2f", d, fo.AvgUtilization, ag.AvgUtilization)
+		}
+	}
+}
+
+// Claim (section 4.4): CSCAN helps most in I/O-bound situations; the
+// benefit falls off (and can reverse slightly) as disks are added.
+func TestClaimCSCANHelpsIOBound(t *testing.T) {
+	tr := claimTrace(t, "postgres-select")
+	cs := claimRun(t, tr, ppcsim.Aggressive, 1)
+	r, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: ppcsim.Aggressive, Disks: 1, Scheduler: ppcsim.FCFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.ElapsedSec >= r.ElapsedSec {
+		t.Errorf("1 disk: CSCAN (%.3fs) should beat FCFS (%.3fs)", cs.ElapsedSec, r.ElapsedSec)
+	}
+}
+
+// Claim (section 4.4, Table 7): larger caches improve every algorithm.
+func TestClaimLargerCacheHelps(t *testing.T) {
+	tr := claimTrace(t, "glimpse")
+	for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive} {
+		small, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: 2, CacheBlocks: 640})
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: 2, CacheBlocks: 1920})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large.ElapsedSec >= small.ElapsedSec {
+			t.Errorf("%s: cache 1920 (%.3fs) should beat cache 640 (%.3fs)", alg, large.ElapsedSec, small.ElapsedSec)
+		}
+	}
+}
+
+// Claim (appendix C): with a double-speed CPU the fixed-horizon vs
+// aggressive crossover shifts to more disks (aggressive stays ahead
+// longer because the workload is more I/O bound).
+func TestClaimFasterCPUFavorsAggressiveLonger(t *testing.T) {
+	tr := claimTrace(t, "synth")
+	fast := tr.ScaleCompute(0.5)
+	// At 2 disks the normal-speed run is already compute-bound enough
+	// that fixed horizon is competitive; at double CPU speed aggressive
+	// must win at 2 disks.
+	agF, err := ppcsim.Run(ppcsim.Options{Trace: fast, Algorithm: ppcsim.Aggressive, Disks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhF, err := ppcsim.Run(ppcsim.Options{Trace: fast, Algorithm: ppcsim.FixedHorizon, Disks: 2, Horizon: 124})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agF.ElapsedSec >= fhF.ElapsedSec {
+		t.Errorf("double-speed CPU, 2 disks: aggressive %.3fs should beat fixed horizon %.3fs",
+			agF.ElapsedSec, fhF.ElapsedSec)
+	}
+}

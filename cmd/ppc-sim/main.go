@@ -1,0 +1,87 @@
+// Command ppc-sim runs a single prefetching-and-caching simulation and
+// prints its metrics.
+//
+// Usage:
+//
+//	ppc-sim -trace postgres-select -alg forestall -disks 4
+//	ppc-sim -trace synth -alg aggressive -disks 3 -batch 40 -sched fcfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppcsim"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "synth", "trace name (see ppc-traces for the list)")
+		alg       = flag.String("alg", "forestall", "algorithm: demand, fixed-horizon, aggressive, reverse-aggressive, forestall")
+		disks     = flag.Int("disks", 1, "number of disks in the array")
+		cacheBlk  = flag.Int("cache", 0, "cache size in 8K blocks (0 = trace default)")
+		sched     = flag.String("sched", "cscan", "disk-head scheduling: cscan or fcfs")
+		batch     = flag.Int("batch", 0, "batch size for aggressive/forestall/reverse-aggressive (0 = paper default)")
+		horizon   = flag.Int("horizon", 0, "prefetch horizon H for fixed-horizon/forestall (0 = 62)")
+		festimate = flag.Float64("f", 0, "reverse aggressive's fetch time estimate F (0 = 32)")
+		fixedF    = flag.Float64("forestall-f", 0, "fix forestall's F' instead of dynamic estimation")
+		overhead  = flag.Float64("driver-ms", 0, "driver overhead per request in ms (0 = 0.5, negative = none)")
+		simple    = flag.Bool("simple-disk", false, "use the simplified fixed-latency disk model")
+		seed      = flag.Int64("seed", 0, "data placement seed")
+		cpuScale  = flag.Float64("cpu-scale", 1, "scale all compute times (0.5 = double-speed CPU)")
+		perDisk   = flag.Bool("per-disk", false, "print a per-disk breakdown")
+	)
+	flag.Parse()
+
+	tr, err := ppcsim.NewTrace(*traceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *cpuScale != 1 {
+		tr = tr.ScaleCompute(*cpuScale)
+	}
+	opts := ppcsim.Options{
+		Trace:            tr,
+		Algorithm:        ppcsim.Algorithm(*alg),
+		Disks:            *disks,
+		CacheBlocks:      *cacheBlk,
+		BatchSize:        *batch,
+		Horizon:          *horizon,
+		FetchEstimate:    *festimate,
+		ForestallFixedF:  *fixedF,
+		DriverOverheadMs: *overhead,
+		SimpleDiskModel:  *simple,
+		PlacementSeed:    *seed,
+	}
+	switch *sched {
+	case "cscan":
+		opts.Scheduler = ppcsim.CSCAN
+	case "fcfs":
+		opts.Scheduler = ppcsim.FCFS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q (want cscan or fcfs)\n", *sched)
+		os.Exit(1)
+	}
+	res, err := ppcsim.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("  fetches:            %d\n", res.Fetches)
+	fmt.Printf("  elapsed time (sec): %.3f\n", res.ElapsedSec)
+	fmt.Printf("  compute time (sec): %.3f\n", res.ComputeSec)
+	fmt.Printf("  driver time (sec):  %.3f\n", res.DriverTimeSec)
+	fmt.Printf("  stall time (sec):   %.3f\n", res.StallTimeSec)
+	fmt.Printf("  avg fetch (msec):   %.3f\n", res.AvgFetchMs)
+	fmt.Printf("  avg response (ms):  %.3f\n", res.AvgResponseMs)
+	fmt.Printf("  avg disk util:      %.2f\n", res.AvgUtilization)
+	if *perDisk {
+		for i, d := range res.PerDisk {
+			fmt.Printf("  disk %2d: fetches %6d  busy %8.3fs  svc %7.3fms  resp %7.3fms  util %.2f\n",
+				i, d.Fetches, d.BusySec, d.AvgFetchMs, d.AvgRespMs, d.Utilization)
+		}
+	}
+}

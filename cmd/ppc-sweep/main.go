@@ -1,0 +1,168 @@
+// Command ppc-sweep runs a cross-product of configurations and emits one
+// CSV row per run, for plotting or regression tracking.
+//
+// Usage:
+//
+//	ppc-sweep -traces synth,ld -algs fixed-horizon,aggressive -disks 1,2,4
+//	ppc-sweep -traces all -algs forestall -disks 1,4 -scheds cscan,fcfs -o out.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ppcsim"
+)
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		traces   = flag.String("traces", "synth", "comma-separated trace names, or 'all'")
+		algs     = flag.String("algs", "fixed-horizon,aggressive,forestall", "comma-separated algorithms")
+		disks    = flag.String("disks", "1,2,4", "comma-separated array sizes")
+		scheds   = flag.String("scheds", "cscan", "comma-separated schedulers: cscan,fcfs")
+		caches   = flag.String("caches", "0", "comma-separated cache sizes (0 = trace default)")
+		batches  = flag.String("batches", "0", "comma-separated batch sizes (0 = paper default)")
+		horizons = flag.String("horizons", "0", "comma-separated horizons (0 = 62)")
+		hintFrac = flag.Float64("hint-fraction", 1, "fraction of references disclosed")
+		hintAcc  = flag.Float64("hint-accuracy", 1, "accuracy of disclosed hints")
+		out      = flag.String("o", "", "output CSV file (default stdout)")
+	)
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	traceNames := splitList(*traces)
+	if len(traceNames) == 1 && traceNames[0] == "all" {
+		traceNames = ppcsim.TraceNames
+	}
+	diskList, err := splitInts(*disks)
+	if err != nil {
+		die(err)
+	}
+	cacheList, err := splitInts(*caches)
+	if err != nil {
+		die(err)
+	}
+	batchList, err := splitInts(*batches)
+	if err != nil {
+		die(err)
+	}
+	horizonList, err := splitInts(*horizons)
+	if err != nil {
+		die(err)
+	}
+	var schedList []ppcsim.Discipline
+	for _, s := range splitList(*scheds) {
+		switch s {
+		case "cscan":
+			schedList = append(schedList, ppcsim.CSCAN)
+		case "fcfs":
+			schedList = append(schedList, ppcsim.FCFS)
+		default:
+			die(fmt.Errorf("unknown scheduler %q", s))
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{
+		"trace", "algorithm", "disks", "scheduler", "cache_blocks", "batch", "horizon",
+		"hint_fraction", "hint_accuracy",
+		"elapsed_sec", "compute_sec", "driver_sec", "stall_sec",
+		"fetches", "avg_fetch_ms", "avg_response_ms", "avg_utilization",
+	}); err != nil {
+		die(err)
+	}
+
+	var hints *ppcsim.HintSpec
+	if *hintFrac != 1 || *hintAcc != 1 {
+		hints = &ppcsim.HintSpec{Fraction: *hintFrac, Accuracy: *hintAcc}
+	}
+
+	for _, tn := range traceNames {
+		tr, err := ppcsim.NewTrace(tn)
+		if err != nil {
+			die(err)
+		}
+		for _, alg := range splitList(*algs) {
+			for _, d := range diskList {
+				for _, sched := range schedList {
+					for _, k := range cacheList {
+						for _, b := range batchList {
+							for _, h := range horizonList {
+								r, err := ppcsim.Run(ppcsim.Options{
+									Trace:       tr,
+									Algorithm:   ppcsim.Algorithm(alg),
+									Disks:       d,
+									Scheduler:   sched,
+									CacheBlocks: k,
+									BatchSize:   b,
+									Horizon:     h,
+									Hints:       hints,
+								})
+								if err != nil {
+									die(fmt.Errorf("%s/%s/d=%d: %w", tn, alg, d, err))
+								}
+								rec := []string{
+									tn, alg, strconv.Itoa(d), sched.String(),
+									strconv.Itoa(k), strconv.Itoa(b), strconv.Itoa(h),
+									fmt.Sprintf("%g", *hintFrac), fmt.Sprintf("%g", *hintAcc),
+									fmt.Sprintf("%.4f", r.ElapsedSec),
+									fmt.Sprintf("%.4f", r.ComputeSec),
+									fmt.Sprintf("%.4f", r.DriverTimeSec),
+									fmt.Sprintf("%.4f", r.StallTimeSec),
+									strconv.FormatInt(r.Fetches, 10),
+									fmt.Sprintf("%.3f", r.AvgFetchMs),
+									fmt.Sprintf("%.3f", r.AvgResponseMs),
+									fmt.Sprintf("%.3f", r.AvgUtilization),
+								}
+								if err := cw.Write(rec); err != nil {
+									die(err)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command ppc-traces prints the bundled traces' summary data (the paper's
+// Table 3) and can dump a trace to a file in the text trace format.
+//
+// Usage:
+//
+//	ppc-traces
+//	ppc-traces -dump synth -o synth.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppcsim"
+	"ppcsim/internal/report"
+)
+
+func main() {
+	var (
+		dump = flag.String("dump", "", "dump the named trace instead of printing the summary")
+		out  = flag.String("o", "", "output file for -dump (default stdout)")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		tr, err := ppcsim.NewTrace(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.Write(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	t := &report.Table{
+		Title:   "Trace summary data (paper Table 3)",
+		Columns: []string{"trace", "reads", "distinct blocks", "compute time (sec)", "files", "cache (blocks)"},
+	}
+	for _, name := range ppcsim.TraceNames {
+		tr, err := ppcsim.NewTrace(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := tr.Stats()
+		t.AddRow(name, fmt.Sprintf("%d", st.Reads), fmt.Sprintf("%d", st.DistinctBlocks),
+			report.F(st.ComputeSec), fmt.Sprintf("%d", len(tr.Files)), fmt.Sprintf("%d", tr.CacheBlocks))
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,67 @@
+package ppcsim_test
+
+import (
+	"fmt"
+
+	"ppcsim"
+)
+
+// Running one of the paper's configurations: forestall on the synthetic
+// trace with a two-disk array.
+func ExampleRun() {
+	tr, err := ppcsim.NewTrace("synth")
+	if err != nil {
+		panic(err)
+	}
+	res, err := ppcsim.Run(ppcsim.Options{
+		Trace:     tr.Truncate(10000),
+		Algorithm: ppcsim.Forestall,
+		Disks:     2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fetches: %d\n", res.Fetches)
+	fmt.Printf("stall under a second: %v\n", res.StallTimeSec < 1)
+	// Output:
+	// fetches: 4880
+	// stall under a second: true
+}
+
+// Composing a custom workload with the trace builder.
+func ExampleTraceBuilder() {
+	b := ppcsim.NewTraceBuilder("mydb").Seed(7)
+	index := b.AddFile(64)
+	data := b.AddFile(4096)
+	b.ComputeFixed(2.0)
+	for q := 0; q < 100; q++ {
+		b.Sequential(index, 0, 4).RandomUniform(data, 8)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("reads: %d, compute: %.1fs\n", st.Reads, st.ComputeSec)
+	// Output:
+	// reads: 1200, compute: 2.4s
+}
+
+// Comparing algorithms the way the paper's figures do.
+func ExampleRun_comparison() {
+	tr, err := ppcsim.NewTrace("postgres-select")
+	if err != nil {
+		panic(err)
+	}
+	tr = tr.Truncate(2000)
+	for _, alg := range []ppcsim.Algorithm{ppcsim.Demand, ppcsim.Forestall} {
+		res, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: 4})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s stalls less than demand: %v\n", alg, res.StallTimeSec < 10)
+	}
+	// Output:
+	// demand stalls less than demand: false
+	// forestall stalls less than demand: true
+}

@@ -1,0 +1,3 @@
+module ppcsim
+
+go 1.22

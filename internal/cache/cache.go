@@ -1,0 +1,196 @@
+// Package cache implements the simulated buffer cache shared by every
+// policy: K block-sized buffers, each holding a present block or reserved
+// for an in-flight fetch. Eviction follows the model of the paper: the
+// victim becomes unavailable at the moment its replacement fetch starts,
+// and the incoming block becomes available when the fetch completes.
+//
+// The cache keeps a lazily-updated max-heap of present blocks keyed by
+// their next reference, so the optimal-replacement choice ("evict the
+// block whose next reference is furthest in the future") is O(log K).
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ppcsim/internal/future"
+	"ppcsim/internal/layout"
+)
+
+// NoBlock marks the absence of a block (e.g. a fetch with no eviction).
+const NoBlock = layout.BlockID(-1)
+
+// state of one block with respect to the cache.
+type state uint8
+
+const (
+	absent state = iota
+	inFlight
+	present
+)
+
+// Cache is the simulated buffer cache.
+type Cache struct {
+	capacity int
+	oracle   *future.Oracle
+	st       []state
+	used     int // present + in-flight buffers
+
+	h evictHeap
+
+	// Statistics.
+	hits, misses int64
+}
+
+// New creates a cache of capacity blocks over the given oracle's block ID
+// space (one state slot per possible block).
+func New(capacity, nBlocks int, o *future.Oracle) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		oracle:   o,
+		st:       make([]state, nBlocks),
+	}, nil
+}
+
+// Capacity returns the number of buffers.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Used returns the number of buffers holding a block or reserved for one.
+func (c *Cache) Used() int { return c.used }
+
+// FreeBuffers returns how many buffers are unreserved.
+func (c *Cache) FreeBuffers() int { return c.capacity - c.used }
+
+// Present reports whether b can be referenced without stalling.
+func (c *Cache) Present(b layout.BlockID) bool { return c.st[b] == present }
+
+// InFlight reports whether a fetch of b has started but not completed.
+func (c *Cache) InFlight(b layout.BlockID) bool { return c.st[b] == inFlight }
+
+// Absent reports whether b is neither present nor in flight.
+func (c *Cache) Absent(b layout.BlockID) bool { return c.st[b] == absent }
+
+// Hits and Misses count Reference outcomes.
+func (c *Cache) Hits() int64   { return c.hits }
+func (c *Cache) Misses() int64 { return c.misses }
+
+// MarkAlwaysPresent pins block b as permanently present without
+// occupying a buffer or becoming an eviction candidate. The engine uses
+// it for the phantom block that stands in for undisclosed hints.
+func (c *Cache) MarkAlwaysPresent(b layout.BlockID) {
+	c.st[b] = present
+}
+
+// Reference records the process referencing block b without a stall; it
+// must be present.
+func (c *Cache) Reference(b layout.BlockID) {
+	if c.st[b] != present {
+		panic(fmt.Sprintf("cache: referenced block %d not present", b))
+	}
+	c.hits++
+}
+
+// ReferenceMissed records the process referencing block b after a stall
+// (the miss was already counted when the stall began); b must be present.
+func (c *Cache) ReferenceMissed(b layout.BlockID) {
+	if c.st[b] != present {
+		panic(fmt.Sprintf("cache: referenced block %d not present", b))
+	}
+}
+
+// Miss records that the process had to wait for b.
+func (c *Cache) Miss() { c.misses++ }
+
+// StartFetch reserves a buffer for block b, evicting victim if it is not
+// NoBlock. The victim becomes unavailable immediately. Returns an error
+// if the transition is illegal (b not absent, victim not present, or no
+// free buffer when no victim given).
+func (c *Cache) StartFetch(b, victim layout.BlockID) error {
+	if c.st[b] != absent {
+		return fmt.Errorf("cache: fetch of block %d in state %d", b, c.st[b])
+	}
+	if victim == NoBlock {
+		if c.used >= c.capacity {
+			return fmt.Errorf("cache: fetch of %d without victim but cache full", b)
+		}
+		c.used++
+	} else {
+		if c.st[victim] != present {
+			return fmt.Errorf("cache: victim %d not present", victim)
+		}
+		c.st[victim] = absent
+		// The heap entry for victim becomes stale and is discarded lazily.
+	}
+	c.st[b] = inFlight
+	return nil
+}
+
+// CompleteFetch makes block b available; its fetch must be in flight.
+func (c *Cache) CompleteFetch(b layout.BlockID) {
+	if c.st[b] != inFlight {
+		panic(fmt.Sprintf("cache: completing fetch of block %d in state %d", b, c.st[b]))
+	}
+	c.st[b] = present
+	heap.Push(&c.h, entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+}
+
+// Drop evicts a present block without starting a fetch (frees its buffer).
+// Used only by tests and diagnostics; the paper's policies always evict to
+// make room for a fetch.
+func (c *Cache) Drop(b layout.BlockID) error {
+	if c.st[b] != present {
+		return fmt.Errorf("cache: dropping block %d not present", b)
+	}
+	c.st[b] = absent
+	c.used--
+	return nil
+}
+
+// Touched must be called whenever the oracle cursor passes a reference to
+// block b, so the eviction heap learns b's new next-use position.
+func (c *Cache) Touched(b layout.BlockID) {
+	if c.st[b] == present {
+		heap.Push(&c.h, entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+	}
+}
+
+// FurthestEvictable returns the present block whose next reference is
+// furthest in the future, along with that position (future.Never if it is
+// never referenced again). It returns NoBlock if nothing is evictable.
+// Stale heap entries are discarded as they surface.
+func (c *Cache) FurthestEvictable() (layout.BlockID, int) {
+	for c.h.Len() > 0 {
+		top := c.h.peek()
+		if c.st[top.block] != present || int(top.nextUse) != c.oracle.NextUse(top.block) {
+			heap.Pop(&c.h)
+			continue
+		}
+		return top.block, int(top.nextUse)
+	}
+	return NoBlock, -1
+}
+
+// entry is one (possibly stale) eviction candidate.
+type entry struct {
+	block   layout.BlockID
+	nextUse int32
+}
+
+// evictHeap is a max-heap on nextUse.
+type evictHeap []entry
+
+func (h evictHeap) Len() int            { return len(h) }
+func (h evictHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h evictHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evictHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *evictHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+func (h evictHeap) peek() entry { return h[0] }

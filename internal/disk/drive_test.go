@@ -1,0 +1,148 @@
+package disk
+
+import (
+	"testing"
+
+	"ppcsim/internal/layout"
+)
+
+// constModel serves every request in exactly 1 ms, recording order.
+type constModel struct{ order []int64 }
+
+func (m *constModel) Service(lbn int64, now float64) float64 {
+	m.order = append(m.order, lbn)
+	return 1.0
+}
+func (m *constModel) Reset() { m.order = nil }
+
+// drain completes requests until the drive idles, returning completion
+// order.
+func drain(dr *Drive) []layout.BlockID {
+	var got []layout.BlockID
+	for dr.Busy() {
+		r := dr.Complete(dr.BusyEnd())
+		got = append(got, r.Block)
+	}
+	return got
+}
+
+func TestFCFSOrder(t *testing.T) {
+	dr := NewDrive(&constModel{}, FCFS)
+	for i, lbn := range []int64{50, 10, 30, 20} {
+		dr.Enqueue(&Request{Block: layout.BlockID(i), LBN: lbn}, 0)
+	}
+	got := drain(dr)
+	want := []layout.BlockID{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FCFS order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCSCANOrder(t *testing.T) {
+	dr := NewDrive(&constModel{}, CSCAN)
+	// First request (LBN 50) starts service immediately; the rest queue
+	// and are served in ascending LBN from the head position (50), then
+	// wrap: 50, then 60, 90, wrap to 10, 30.
+	for i, lbn := range []int64{50, 90, 10, 60, 30} {
+		dr.Enqueue(&Request{Block: layout.BlockID(i), LBN: lbn}, 0)
+	}
+	got := drain(dr)
+	want := []layout.BlockID{0, 3, 1, 2, 4} // LBNs 50, 60, 90, 10, 30
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CSCAN order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCSCANTieBreaksByArrival(t *testing.T) {
+	dr := NewDrive(&constModel{}, CSCAN)
+	dr.Enqueue(&Request{Block: 9, LBN: 5}, 0)
+	dr.Enqueue(&Request{Block: 1, LBN: 7}, 0)
+	dr.Enqueue(&Request{Block: 2, LBN: 7}, 0)
+	got := drain(dr)
+	want := []layout.BlockID{9, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEveryRequestServedOnce(t *testing.T) {
+	for _, disc := range []Discipline{FCFS, CSCAN} {
+		dr := NewDrive(&constModel{}, disc)
+		seen := map[layout.BlockID]int{}
+		n := 200
+		now := 0.0
+		for i := 0; i < n; i++ {
+			dr.Enqueue(&Request{Block: layout.BlockID(i), LBN: int64((i * 37) % 100)}, now)
+			if i%3 == 0 && dr.Busy() {
+				now = dr.BusyEnd()
+				seen[dr.Complete(now).Block]++
+			}
+		}
+		for dr.Busy() {
+			now = dr.BusyEnd()
+			seen[dr.Complete(now).Block]++
+		}
+		if len(seen) != n {
+			t.Fatalf("%v: served %d distinct requests, want %d", disc, len(seen), n)
+		}
+		for b, c := range seen {
+			if c != 1 {
+				t.Fatalf("%v: request %d served %d times", disc, b, c)
+			}
+		}
+		if dr.Completed() != int64(n) {
+			t.Fatalf("%v: Completed() = %d, want %d", disc, dr.Completed(), n)
+		}
+	}
+}
+
+func TestDriveStatsAndReset(t *testing.T) {
+	dr := NewDrive(&constModel{}, FCFS)
+	dr.Enqueue(&Request{Block: 0, LBN: 0}, 0)
+	dr.Enqueue(&Request{Block: 1, LBN: 1}, 0)
+	if dr.Outstanding() != 2 || dr.QueueLen() != 1 || !dr.Busy() {
+		t.Fatalf("outstanding=%d queue=%d busy=%v", dr.Outstanding(), dr.QueueLen(), dr.Busy())
+	}
+	drain(dr)
+	if dr.BusyTime() != 2.0 {
+		t.Errorf("busy time %g, want 2", dr.BusyTime())
+	}
+	if dr.MeanServiceMs() != 1.0 {
+		t.Errorf("mean service %g, want 1", dr.MeanServiceMs())
+	}
+	dr.Reset()
+	if dr.Busy() || dr.Outstanding() != 0 || dr.Completed() != 0 || dr.BusyTime() != 0 || dr.MeanServiceMs() != 0 {
+		t.Error("reset did not clear drive state")
+	}
+}
+
+func TestCompleteIdleReturnsNil(t *testing.T) {
+	dr := NewDrive(&constModel{}, FCFS)
+	if dr.Complete(0) != nil {
+		t.Error("completing an idle drive should return nil")
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if CSCAN.String() != "CSCAN" || FCFS.String() != "FCFS" {
+		t.Error("discipline names wrong")
+	}
+	if Discipline(9).String() == "" {
+		t.Error("unknown discipline should still render")
+	}
+}
+
+func TestRequestServiceMsRecorded(t *testing.T) {
+	dr := NewDrive(&constModel{}, FCFS)
+	dr.Enqueue(&Request{Block: 0, LBN: 0}, 0)
+	r := dr.Complete(dr.BusyEnd())
+	if r.ServiceMs != 1.0 {
+		t.Errorf("ServiceMs = %g, want 1", r.ServiceMs)
+	}
+}

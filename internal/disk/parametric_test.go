@@ -1,0 +1,112 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParametricMatchesHP97560(t *testing.T) {
+	// A Parametric model built from the HP 97560 geometry must behave
+	// identically to the hand-written model on an arbitrary access
+	// pattern.
+	p, err := NewParametric(HP97560Geometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHP97560()
+	nowP, nowH := 0.0, 0.0
+	lbn := int64(1)
+	for i := 0; i < 2000; i++ {
+		lbn = (lbn*1103515245 + 12345) % 1_500_000
+		if lbn < 0 {
+			lbn = -lbn
+		}
+		if i%3 != 0 {
+			lbn = (lbn + 1) % 1_500_000 // mix in sequential-ish steps
+		}
+		sp := p.Service(lbn, nowP)
+		sh := h.Service(lbn, nowH)
+		if math.Abs(sp-sh) > 1e-9 {
+			t.Fatalf("step %d lbn %d: parametric %g != hp97560 %g", i, lbn, sp, sh)
+		}
+		nowP += sp + 0.25
+		nowH += sh + 0.25
+	}
+}
+
+func TestParametricValidation(t *testing.T) {
+	bad := []Geometry{
+		{},
+		func() Geometry { g := HP97560Geometry(); g.SectorsPerTrack = 0; return g }(),
+		func() Geometry { g := HP97560Geometry(); g.RPM = 0; return g }(),
+		func() Geometry { g := HP97560Geometry(); g.Cylinders = -1; return g }(),
+		func() Geometry { g := HP97560Geometry(); g.CacheBytes = -5; return g }(),
+		func() Geometry { g := HP97560Geometry(); g.BusMBPerSec = 0; return g }(),
+	}
+	for i, g := range bad {
+		if _, err := NewParametric(g); err == nil {
+			t.Errorf("geometry %d should be rejected", i)
+		}
+	}
+	if _, err := NewParametric(HP97560Geometry()); err != nil {
+		t.Errorf("HP geometry rejected: %v", err)
+	}
+}
+
+func TestParametricNoReadahead(t *testing.T) {
+	g := HP97560Geometry()
+	g.CacheBytes = 0
+	g.BusMBPerSec = 0 // allowed when the cache is disabled
+	m, err := NewParametric(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := m.Service(100, 0)
+	// With no readahead cache, a re-read after idle time still pays the
+	// media transfer (never the bus-only fast path).
+	svc := m.Service(101, now+200)
+	if svc < MediaTransferMs(BlockSectors)-1e-9 {
+		t.Errorf("no-cache sequential read cost %g, want >= media %g", svc, MediaTransferMs(BlockSectors))
+	}
+}
+
+func TestParametricFasterDrive(t *testing.T) {
+	// A drive spinning twice as fast with a flatter seek curve must give
+	// strictly lower average service on a random workload.
+	fast := HP97560Geometry()
+	fast.RPM *= 2
+	fast.SeekConst /= 2
+	fast.SeekSqrt /= 2
+	fast.SeekLinConst /= 2
+	fast.SeekLin /= 2
+	slowM, _ := NewParametric(HP97560Geometry())
+	fastM, _ := NewParametric(fast)
+	sumS, sumF := 0.0, 0.0
+	nowS, nowF := 0.0, 0.0
+	lbn := int64(7)
+	for i := 0; i < 500; i++ {
+		lbn = (lbn*48271 + 11) % 1_000_000
+		s := slowM.Service(lbn, nowS)
+		f := fastM.Service(lbn, nowF)
+		sumS += s
+		sumF += f
+		nowS += s + 1
+		nowF += f + 1
+	}
+	if sumF >= sumS {
+		t.Errorf("faster drive total %g >= slower %g", sumF, sumS)
+	}
+}
+
+func TestParametricResetAndGeometry(t *testing.T) {
+	m, _ := NewParametric(HP97560Geometry())
+	a := m.Service(0, 0)
+	m.Service(1, a)
+	m.Reset()
+	if b := m.Service(0, 0); math.Abs(a-b) > 1e-9 {
+		t.Errorf("post-reset service %g, want %g", b, a)
+	}
+	if m.Geometry().Cylinders != Cylinders {
+		t.Error("Geometry() lost parameters")
+	}
+}

@@ -1,0 +1,548 @@
+// Package engine implements the paper's trace-driven simulator: a single
+// fully-hinted process consuming a read trace, an array of independently
+// scheduled disks, a shared buffer cache with advance knowledge, and a
+// pluggable integrated prefetching-and-caching policy.
+//
+// The simulation is event driven. Between references the process computes
+// for the traced inter-reference CPU time; every disk request charges a
+// driver overhead (0.5 ms by default, "typical of the DECstation
+// 5000/200") to the process's CPU timeline; referencing an unavailable
+// block stalls the process until the block arrives. Elapsed time therefore
+// decomposes exactly as in the paper's figures: compute + driver + stall.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppcsim/internal/cache"
+	"ppcsim/internal/disk"
+	"ppcsim/internal/future"
+	"ppcsim/internal/layout"
+	"ppcsim/internal/trace"
+)
+
+// DefaultDriverOverheadMs is the per-request I/O driver CPU cost.
+const DefaultDriverOverheadMs = 0.5
+
+// Policy is an integrated prefetching and caching algorithm. The engine
+// calls Attach once, then Poll at every decision point (after each served
+// reference and after each disk completion), and OnStall when the process
+// is blocked on a block that no in-flight fetch will deliver — the policy
+// must then issue a fetch for that block.
+type Policy interface {
+	Name() string
+	Attach(s *State)
+	Poll()
+	OnStall(b layout.BlockID)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Trace            *trace.Trace
+	Policy           Policy
+	Disks            int
+	CacheBlocks      int               // 0 → trace default
+	Discipline       disk.Discipline   // CSCAN by default
+	Model            func() disk.Model // nil → disk.NewHP97560
+	DriverOverheadMs float64           // <0 → 0; 0 → default
+	PlacementSeed    int64             // seed for per-file placement
+	// Hints degrades the advance knowledge the policy receives; nil means
+	// the paper's fully-hinted case.
+	Hints *HintSpec
+}
+
+// HintSpec models incomplete or inaccurate application hints — the
+// generalization the paper's section 6 leaves open ("we have not
+// considered the effects of incomplete or inaccurate hints"). Each
+// reference is disclosed to the policy with probability Fraction; a
+// disclosed reference names the wrong block with probability
+// 1 - Accuracy. Undisclosed references are invisible to the policy until
+// the process reaches them (they surface as demand misses). The policy
+// still observes all *past* accesses through State.Observed, as any real
+// system would.
+type HintSpec struct {
+	// Fraction of references disclosed, in [0, 1]. 1 = fully hinted.
+	Fraction float64
+	// Accuracy of a disclosed hint, in [0, 1]. 1 = always correct.
+	Accuracy float64
+	// Seed drives the disclosure and corruption draws.
+	Seed int64
+}
+
+// Validate checks the spec's ranges.
+func (h *HintSpec) Validate() error {
+	if h.Fraction < 0 || h.Fraction > 1 {
+		return fmt.Errorf("engine: hint fraction %g out of [0,1]", h.Fraction)
+	}
+	if h.Accuracy < 0 || h.Accuracy > 1 {
+		return fmt.Errorf("engine: hint accuracy %g out of [0,1]", h.Accuracy)
+	}
+	return nil
+}
+
+// Result reports the metrics of one run in the units of the paper's
+// appendix tables.
+type Result struct {
+	Trace      string
+	Policy     string
+	Disks      int
+	Discipline disk.Discipline
+
+	Fetches       int64
+	DriverTimeSec float64
+	StallTimeSec  float64
+	ElapsedSec    float64
+	ComputeSec    float64
+	AvgFetchMs    float64
+	// AvgResponseMs is the mean request response time (queueing plus
+	// service) across all disks.
+	AvgResponseMs float64
+	// AvgUtilization is the mean fraction of elapsed time each disk spent
+	// servicing requests.
+	AvgUtilization float64
+	CacheHits      int64
+	CacheMisses    int64
+	// WriteRequests counts write-behind disk requests (zero for the
+	// paper's read-only traces).
+	WriteRequests int64
+	// PerDisk breaks the I/O metrics down by array slot.
+	PerDisk []DiskResult
+}
+
+// DiskResult is one drive's share of a Result.
+type DiskResult struct {
+	Fetches     int64
+	BusySec     float64
+	AvgFetchMs  float64
+	AvgRespMs   float64
+	Utilization float64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s d=%d %s: elapsed %.3fs (cpu %.3f + driver %.3f + stall %.3f), %d fetches, %.3f ms/fetch, util %.2f",
+		r.Trace, r.Policy, r.Disks, r.Discipline,
+		r.ElapsedSec, r.ComputeSec, r.DriverTimeSec, r.StallTimeSec,
+		r.Fetches, r.AvgFetchMs, r.AvgUtilization)
+}
+
+// State is the view of the running simulation a policy operates on.
+//
+// Refs is the *disclosed* reference sequence: under a HintSpec it may
+// differ from the true one (undisclosed positions point at a phantom
+// block that is permanently present, so policies naturally skip them;
+// inaccurate positions name the wrong block). Without hints it is the
+// true sequence. The Oracle answers next-use queries over the disclosed
+// sequence — that is exactly the knowledge the application shared.
+type State struct {
+	Refs   []layout.BlockID
+	Layout *layout.Layout
+	Oracle *future.Oracle
+	Cache  *cache.Cache
+	Drives []*disk.Drive
+
+	trueRefs []layout.BlockID
+	isWrite  []bool
+	writes   int64
+
+	compute []float64
+	now     float64
+	// processAt is the time the process will issue its next reference
+	// (start-of-stall time once it arrives there).
+	processAt float64
+	stalled   bool
+
+	afterMiss bool
+	driverMs  float64
+	overhead  float64
+	fetches   int64
+	inFlight  map[layout.BlockID]int // block -> disk, for stall lookups
+	issueErr  error
+
+	// OnComplete, if set by the policy in Attach, is invoked after every
+	// disk completion with the disk index and modeled service time.
+	// Forestall uses it to track recent disk access times.
+	OnComplete func(disk int, serviceMs float64)
+}
+
+// Now returns the current simulation time in ms.
+func (s *State) Now() float64 { return s.now }
+
+// Cursor returns the index of the next reference to be consumed.
+func (s *State) Cursor() int { return s.Oracle.Cursor() }
+
+// Len returns the trace length.
+func (s *State) Len() int { return len(s.Refs) }
+
+// DiskOf returns the disk holding block b.
+func (s *State) DiskOf(b layout.BlockID) int { return s.Layout.Lookup(b).Disk }
+
+// ComputeMs returns the inter-reference CPU time that precedes reference i.
+func (s *State) ComputeMs(i int) float64 { return s.compute[i] }
+
+// Observed returns the block actually referenced at a past position
+// i < Cursor(). Unlike Refs (the disclosed hints), past accesses are
+// observable by any policy — a hint-less LRU cache works from exactly
+// this information. Asking about the future panics.
+func (s *State) Observed(i int) layout.BlockID {
+	if i >= s.Oracle.Cursor() {
+		panic(fmt.Sprintf("engine: Observed(%d) is in the future (cursor %d)", i, s.Oracle.Cursor()))
+	}
+	return s.trueRefs[i]
+}
+
+// Fetches returns the number of fetches issued so far.
+func (s *State) Fetches() int64 { return s.fetches }
+
+// Issue starts a fetch of block b, evicting victim (cache.NoBlock for
+// none), and enqueues the request at b's disk. The driver overhead is
+// charged to the process timeline. Policies must only issue legal
+// fetches; an illegal one aborts the run with an error.
+func (s *State) Issue(b, victim layout.BlockID) {
+	if err := s.Cache.StartFetch(b, victim); err != nil {
+		if s.issueErr == nil {
+			s.issueErr = fmt.Errorf("policy %T: %w", s, err)
+		}
+		return
+	}
+	pl := s.Layout.Lookup(b)
+	s.Drives[pl.Disk].Enqueue(&disk.Request{Block: b, LBN: pl.LBN}, s.now)
+	s.inFlight[b] = pl.Disk
+	s.fetches++
+	s.driverMs += s.overhead
+	if !s.stalled {
+		s.processAt += s.overhead
+	}
+}
+
+// Run executes the configured simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if cfg.Trace == nil {
+		return Result{}, fmt.Errorf("engine: nil trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return Result{}, fmt.Errorf("engine: %w", err)
+	}
+	if cfg.Policy == nil {
+		return Result{}, fmt.Errorf("engine: nil policy")
+	}
+	if cfg.Disks <= 0 {
+		return Result{}, fmt.Errorf("engine: disks must be positive, got %d", cfg.Disks)
+	}
+	cacheBlocks := cfg.CacheBlocks
+	if cacheBlocks == 0 {
+		cacheBlocks = cfg.Trace.CacheBlocks
+	}
+	if cacheBlocks <= 1 {
+		return Result{}, fmt.Errorf("engine: cache of %d blocks is too small", cacheBlocks)
+	}
+	overhead := cfg.DriverOverheadMs
+	switch {
+	case overhead == 0:
+		overhead = DefaultDriverOverheadMs
+	case overhead < 0:
+		overhead = 0
+	}
+	model := cfg.Model
+	if model == nil {
+		model = func() disk.Model { return disk.NewHP97560() }
+	}
+
+	lay, err := cfg.Trace.Layout(cfg.Disks, cfg.PlacementSeed)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: %w", err)
+	}
+	refs := make([]layout.BlockID, len(cfg.Trace.Refs))
+	compute := make([]float64, len(cfg.Trace.Refs))
+	for i, r := range cfg.Trace.Refs {
+		refs[i] = r.Block
+		compute[i] = r.ComputeMs
+	}
+	nBlocks := cfg.Trace.NumBlocks()
+	isWrite := make([]bool, len(cfg.Trace.Refs))
+	hasWrites := false
+	for i, r := range cfg.Trace.Refs {
+		if r.Write {
+			isWrite[i] = true
+			hasWrites = true
+		}
+	}
+	disclosed := refs
+	blockSpace := nBlocks
+	if cfg.Hints != nil || hasWrites {
+		// Block id nBlocks is the phantom standing in for references the
+		// policy must not act on — undisclosed hints and write-behind
+		// updates; it is pinned present so policies skip it.
+		blockSpace = nBlocks + 1
+		phantom := layout.BlockID(nBlocks)
+		disclosed = make([]layout.BlockID, len(refs))
+		copy(disclosed, refs)
+		for i := range disclosed {
+			if isWrite[i] {
+				disclosed[i] = phantom
+			}
+		}
+		if cfg.Hints != nil {
+			if err := cfg.Hints.Validate(); err != nil {
+				return Result{}, err
+			}
+			rng := rand.New(rand.NewSource(cfg.Hints.Seed ^ 0x70636873)) // "pchs"
+			for i, b := range refs {
+				if isWrite[i] {
+					continue
+				}
+				switch {
+				case rng.Float64() >= cfg.Hints.Fraction:
+					disclosed[i] = phantom
+				case rng.Float64() >= cfg.Hints.Accuracy:
+					disclosed[i] = layout.BlockID(rng.Intn(nBlocks))
+				default:
+					disclosed[i] = b
+				}
+			}
+		}
+	}
+	oracle := future.New(disclosed, blockSpace)
+	c, err := cache.New(cacheBlocks, blockSpace, oracle)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: %w", err)
+	}
+	if blockSpace > nBlocks {
+		c.MarkAlwaysPresent(layout.BlockID(nBlocks))
+	}
+	drives := make([]*disk.Drive, cfg.Disks)
+	for i := range drives {
+		drives[i] = disk.NewDrive(model(), cfg.Discipline)
+	}
+
+	s := &State{
+		Refs:     disclosed,
+		trueRefs: refs,
+		isWrite:  isWrite,
+		Layout:   lay,
+		Oracle:   oracle,
+		Cache:    c,
+		Drives:   drives,
+		compute:  compute,
+		overhead: overhead,
+		inFlight: make(map[layout.BlockID]int),
+	}
+	cfg.Policy.Attach(s)
+
+	totalCompute := 0.0
+	for _, ct := range compute {
+		totalCompute += ct
+	}
+
+	// The process is about to start computing toward reference 0.
+	s.processAt = compute[0]
+	cfg.Policy.Poll()
+	if s.issueErr != nil {
+		return Result{}, s.issueErr
+	}
+
+	n := len(refs)
+	for cursor := 0; cursor < n; {
+		// Next disk completion, if any.
+		nextDisk, diskAt := -1, math.Inf(1)
+		for i, d := range drives {
+			if d.Busy() && d.BusyEnd() < diskAt {
+				nextDisk, diskAt = i, d.BusyEnd()
+			}
+		}
+
+		b := refs[cursor]
+
+		if !s.stalled && diskAt >= s.processAt {
+			// The process reaches its reference before any disk event.
+			s.now = s.processAt
+			if isWrite[cursor] {
+				// Write behind: enqueue the update and continue without
+				// stalling (the paper's motivation for ignoring writes).
+				pl := s.Layout.Lookup(b)
+				s.Drives[pl.Disk].Enqueue(&disk.Request{Block: b, LBN: pl.LBN, Write: true}, s.now)
+				s.writes++
+				s.driverMs += s.overhead
+				serveReference(s, cfg.Policy, &cursor)
+				if s.issueErr != nil {
+					return Result{}, s.issueErr
+				}
+				// The write's driver overhead delays the next reference
+				// (serveReference reset processAt from the compute time).
+				s.processAt += s.overhead
+				continue
+			}
+			if s.Cache.Present(b) {
+				serveReference(s, cfg.Policy, &cursor)
+				if s.issueErr != nil {
+					return Result{}, s.issueErr
+				}
+				continue
+			}
+			// Stall begins.
+			s.stalled = true
+			s.Cache.Miss()
+			if err := ensureStallFetch(s, cfg.Policy, b, cursor); err != nil {
+				return Result{}, err
+			}
+			continue
+		}
+
+		if nextDisk < 0 {
+			// Unreachable when not stalled (the process branch above
+			// always fires with no disk events); stalling with idle disks
+			// means the policy failed to fetch.
+			return Result{}, fmt.Errorf("engine: stalled on block %d with all disks idle", b)
+		}
+
+		// Advance to the disk completion.
+		s.now = diskAt
+		req := drives[nextDisk].Complete(s.now)
+		if req.Write {
+			// Write-behind completion: no cache state changes; just give
+			// the policy a decision point.
+			cfg.Policy.Poll()
+			if s.issueErr != nil {
+				return Result{}, s.issueErr
+			}
+			if s.stalled {
+				if err := ensureStallFetch(s, cfg.Policy, b, cursor); err != nil {
+					return Result{}, err
+				}
+			}
+			continue
+		}
+		s.Cache.CompleteFetch(req.Block)
+		delete(s.inFlight, req.Block)
+		if s.OnComplete != nil {
+			s.OnComplete(nextDisk, req.ServiceMs)
+		}
+
+		if s.stalled && req.Block == b && !isWrite[cursor] {
+			// Stall ends: the process consumes the reference now.
+			s.stalled = false
+			s.afterMiss = true
+			s.processAt = s.now
+			serveReference(s, cfg.Policy, &cursor)
+			if s.issueErr != nil {
+				return Result{}, s.issueErr
+			}
+			continue
+		}
+		cfg.Policy.Poll()
+		if s.issueErr != nil {
+			return Result{}, s.issueErr
+		}
+		if s.stalled {
+			// A buffer may have freed up; make sure the stalled block's
+			// fetch gets issued.
+			if err := ensureStallFetch(s, cfg.Policy, b, cursor); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	elapsed := s.now
+	var busy, svc, resp float64
+	var served int64
+	perDisk := make([]DiskResult, len(drives))
+	for i, d := range drives {
+		busy += d.BusyTime()
+		svc += d.MeanServiceMs() * float64(d.Completed())
+		resp += d.MeanResponseMs() * float64(d.Completed())
+		served += d.Completed()
+		perDisk[i] = DiskResult{
+			Fetches:    d.Completed(),
+			BusySec:    d.BusyTime() / 1000,
+			AvgFetchMs: d.MeanServiceMs(),
+			AvgRespMs:  d.MeanResponseMs(),
+		}
+		if elapsed > 0 {
+			perDisk[i].Utilization = d.BusyTime() / elapsed
+		}
+	}
+	// Stall is the residual idle time, exactly as the paper decomposes
+	// elapsed time: CPU compute + driver overhead + I/O stall. Driver work
+	// performed while the process was stalled overlaps the stall, so the
+	// residual (clamped at zero) is the pure idle component.
+	stallMs := elapsed - totalCompute - s.driverMs
+	if stallMs < 0 {
+		stallMs = 0
+	}
+	res := Result{
+		Trace:         cfg.Trace.Name,
+		Policy:        cfg.Policy.Name(),
+		Disks:         cfg.Disks,
+		Discipline:    cfg.Discipline,
+		Fetches:       s.fetches,
+		DriverTimeSec: s.driverMs / 1000,
+		StallTimeSec:  stallMs / 1000,
+		ElapsedSec:    elapsed / 1000,
+		ComputeSec:    totalCompute / 1000,
+		CacheHits:     c.Hits(),
+		CacheMisses:   c.Misses(),
+		WriteRequests: s.writes,
+		PerDisk:       perDisk,
+	}
+	if served > 0 {
+		res.AvgFetchMs = svc / float64(served)
+		res.AvgResponseMs = resp / float64(served)
+	}
+	if elapsed > 0 {
+		res.AvgUtilization = busy / elapsed / float64(len(drives))
+	}
+	return res, nil
+}
+
+// ensureStallFetch asks the policy to fetch the stalled block b. A policy
+// may be unable to comply when every buffer is reserved by an in-flight
+// fetch; in that case the engine retries after the next disk completion.
+// It is an error only if no fetch is in flight anywhere (deadlock).
+func ensureStallFetch(s *State, p Policy, b layout.BlockID, cursor int) error {
+	if _, flying := s.inFlight[b]; flying {
+		return nil
+	}
+	if !s.Cache.Absent(b) {
+		return nil // completed while polling
+	}
+	p.OnStall(b)
+	if s.issueErr != nil {
+		return s.issueErr
+	}
+	if _, flying := s.inFlight[b]; flying {
+		return nil
+	}
+	if len(s.inFlight) == 0 {
+		return fmt.Errorf("engine: policy %s did not fetch stalled block %d at position %d",
+			p.Name(), b, cursor)
+	}
+	return nil
+}
+
+// serveReference consumes the reference at *cursor (which must be
+// present), advances the oracle and heap bookkeeping, sets the process's
+// next reference time, and polls the policy.
+func serveReference(s *State, p Policy, cursor *int) {
+	b := s.trueRefs[*cursor]
+	switch {
+	case s.isWrite[*cursor]:
+		// Writes bypass the cache.
+	case s.afterMiss:
+		s.Cache.ReferenceMissed(b)
+		s.afterMiss = false
+	default:
+		s.Cache.Reference(b)
+	}
+	wasWrite := s.isWrite[*cursor]
+	*cursor++
+	s.Oracle.Advance(*cursor)
+	if !wasWrite {
+		s.Cache.Touched(b)
+	}
+	if *cursor < len(s.trueRefs) {
+		s.processAt = s.now + s.compute[*cursor]
+	}
+	p.Poll()
+}

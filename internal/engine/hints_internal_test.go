@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+
+	"ppcsim/internal/layout"
+	"ppcsim/internal/trace"
+)
+
+// spyPolicy records what the engine shows it.
+type spyPolicy struct {
+	demandPolicy
+	sawPhantom bool
+	phantom    layout.BlockID
+}
+
+func (p *spyPolicy) Attach(s *State) { p.s = s }
+func (p *spyPolicy) Name() string    { return "spy" }
+func (p *spyPolicy) Poll() {
+	for _, b := range p.s.Refs {
+		if b == p.phantom {
+			p.sawPhantom = true
+		}
+	}
+}
+
+func TestHintsPhantomIsVisibleButNeverAbsent(t *testing.T) {
+	tr := mkTrace(4, 1.0, 0, 1, 2, 3, 0, 1, 2, 3)
+	tr.CacheBlocks = 4
+	spy := &spyPolicy{phantom: layout.BlockID(4)} // block space is 4; phantom is 4
+	_, err := Run(Config{
+		Trace:  tr,
+		Policy: spy,
+		Disks:  1,
+		Hints:  &HintSpec{Fraction: 0.5, Accuracy: 1, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spy.sawPhantom {
+		t.Error("with 50% hints some positions should disclose the phantom")
+	}
+}
+
+// observedPolicy checks Observed() against the true sequence and panics
+// from the engine if it allows future peeking.
+type observedPolicy struct {
+	demandPolicy
+	tr         *trace.Trace
+	mismatches int
+	futureOK   bool
+}
+
+func (p *observedPolicy) Attach(s *State) { p.s = s }
+func (p *observedPolicy) Name() string    { return "observer" }
+func (p *observedPolicy) Poll() {
+	c := p.s.Cursor()
+	for i := 0; i < c; i++ {
+		if p.s.Observed(i) != p.tr.Refs[i].Block {
+			p.mismatches++
+		}
+	}
+	if c < p.s.Len() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					p.futureOK = true
+				}
+			}()
+			p.s.Observed(c)
+		}()
+	}
+}
+
+func TestObservedIsTruePastOnly(t *testing.T) {
+	tr := mkTrace(5, 1.0, 0, 1, 2, 3, 4, 0, 1)
+	tr.CacheBlocks = 5
+	p := &observedPolicy{tr: tr}
+	_, err := Run(Config{
+		Trace:  tr,
+		Policy: p,
+		Disks:  1,
+		Hints:  &HintSpec{Fraction: 0.3, Accuracy: 0.5, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.mismatches != 0 {
+		t.Errorf("Observed disagreed with the true history %d times", p.mismatches)
+	}
+	if p.futureOK {
+		t.Error("Observed allowed peeking at the future")
+	}
+}
+
+func TestPerDiskConsistency(t *testing.T) {
+	tr := mkTrace(64, 1.0)
+	for i := 0; i < 500; i++ {
+		tr.Refs = append(tr.Refs, trace.Ref{Block: layout.BlockID(i % 64), ComputeMs: 1})
+		if i%5 == 0 {
+			tr.Refs = append(tr.Refs, trace.Ref{Block: layout.BlockID((i * 7) % 64), ComputeMs: 0.1, Write: true})
+		}
+	}
+	tr.CacheBlocks = 32
+	res, err := Run(Config{Trace: tr, Policy: &demandPolicy{}, Disks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerDisk) != 3 {
+		t.Fatalf("PerDisk has %d entries", len(res.PerDisk))
+	}
+	var totalReqs int64
+	var busy float64
+	for _, d := range res.PerDisk {
+		totalReqs += d.Fetches
+		busy += d.BusySec
+		if d.Utilization < 0 || d.Utilization > 1+1e-9 {
+			t.Errorf("per-disk utilization %g", d.Utilization)
+		}
+		if d.Fetches > 0 && (d.AvgFetchMs <= 0 || d.AvgRespMs < d.AvgFetchMs-1e-9) {
+			t.Errorf("per-disk timing inconsistent: svc %g resp %g", d.AvgFetchMs, d.AvgRespMs)
+		}
+	}
+	// Drives serve both read fetches and write-behind requests.
+	if totalReqs != res.Fetches+res.WriteRequests {
+		t.Errorf("per-disk requests %d != fetches %d + writes %d", totalReqs, res.Fetches, res.WriteRequests)
+	}
+	if res.AvgResponseMs < res.AvgFetchMs-1e-9 {
+		t.Errorf("response %g below service %g", res.AvgResponseMs, res.AvgFetchMs)
+	}
+}
+
+func TestHintSpecValidateDirect(t *testing.T) {
+	good := HintSpec{Fraction: 0.5, Accuracy: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, h := range []HintSpec{
+		{Fraction: -0.01, Accuracy: 1},
+		{Fraction: 1.01, Accuracy: 1},
+		{Fraction: 1, Accuracy: -0.01},
+		{Fraction: 1, Accuracy: 1.01},
+	} {
+		if err := h.Validate(); err == nil {
+			t.Errorf("%+v should fail validation", h)
+		}
+	}
+}

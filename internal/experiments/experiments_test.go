@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete checks every paper artifact has an experiment.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "fig2", "fig3", "table4", "fig4", "fig5",
+		"table5", "fig6", "fig7", "table7", "fig8", "fig9", "fig10",
+		"table8", "appA", "appB", "appC", "appD", "appE", "appF", "appG", "appH",
+		"ext-lru", "ext-hints", "ext-writes", "ext-multi",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) not found", id)
+		}
+	}
+	if _, ok := ByID("bogus"); ok {
+		t.Error("ByID(bogus) should not resolve")
+	}
+}
+
+// TestEveryExperimentQuick runs every experiment in quick mode and checks
+// it produces table output without errors. This is the integration test
+// for the whole harness.
+func TestEveryExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds each")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			o := &Options{Out: &buf, Quick: true}
+			if err := e.Run(o); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "---") {
+				t.Errorf("%s: no table rendered:\n%.400s", e.ID, out)
+			}
+		})
+	}
+}
+
+// TestQuickTraceTruncation: quick mode shrinks traces but keeps names.
+func TestQuickTraceTruncation(t *testing.T) {
+	o := &Options{Quick: true}
+	tr := getTrace(o, "synth")
+	if len(tr.Refs) >= 100000 {
+		t.Error("quick trace not truncated")
+	}
+	full := getTrace(&Options{}, "synth")
+	if len(full.Refs) != 100000 {
+		t.Error("full trace truncated")
+	}
+}
+
+func TestDiskCounts(t *testing.T) {
+	if got := diskCounts("synth"); len(got) != 4 {
+		t.Errorf("synth disk counts: %v", got)
+	}
+	if got := diskCounts("cscope2"); got[len(got)-1] != 16 {
+		t.Errorf("cscope2 disk counts: %v", got)
+	}
+	if got := diskCounts("xds"); len(got) != 6 {
+		t.Errorf("xds disk counts: %v", got)
+	}
+}

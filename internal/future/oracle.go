@@ -1,0 +1,103 @@
+// Package future provides the advance-knowledge oracle the paper's
+// algorithms rely on: for the fully-hinted single process, every policy
+// can ask for the next reference position of any block relative to the
+// current position (cursor) in the request sequence. The oracle advances
+// in lockstep with the simulated process and answers queries in O(1).
+package future
+
+import (
+	"math"
+
+	"ppcsim/internal/layout"
+)
+
+// Never is returned by NextUse for blocks that are not referenced again.
+const Never = math.MaxInt32
+
+// Oracle answers next-reference queries over a fixed request sequence.
+type Oracle struct {
+	refs   []layout.BlockID
+	occ    [][]int32 // per block: sorted positions of its references
+	ptr    []int32   // per block: index into occ of first position >= cursor
+	cursor int
+}
+
+// New builds an oracle for the given reference sequence over a block ID
+// space of nBlocks. The cursor starts at position 0 (before the first
+// reference).
+func New(refs []layout.BlockID, nBlocks int) *Oracle {
+	o := &Oracle{
+		refs: refs,
+		occ:  make([][]int32, nBlocks),
+		ptr:  make([]int32, nBlocks),
+	}
+	counts := make([]int32, nBlocks)
+	for _, b := range refs {
+		counts[b]++
+	}
+	for b := range o.occ {
+		o.occ[b] = make([]int32, 0, counts[b])
+	}
+	for i, b := range refs {
+		o.occ[b] = append(o.occ[b], int32(i))
+	}
+	return o
+}
+
+// Len returns the length of the reference sequence.
+func (o *Oracle) Len() int { return len(o.refs) }
+
+// Cursor returns the current position: the index of the next reference to
+// be consumed.
+func (o *Oracle) Cursor() int { return o.cursor }
+
+// Block returns the block referenced at position i.
+func (o *Oracle) Block(i int) layout.BlockID { return o.refs[i] }
+
+// Advance moves the cursor forward to position c (monotonic). References
+// that the cursor passes stop counting as "next uses".
+func (o *Oracle) Advance(c int) {
+	if c < o.cursor {
+		panic("future: oracle cursor moved backwards")
+	}
+	for ; o.cursor < c; o.cursor++ {
+		b := o.refs[o.cursor]
+		// The cursor is consuming position o.cursor; move b's pointer past
+		// it.
+		if p := o.ptr[b]; int(o.occ[b][p]) == o.cursor {
+			o.ptr[b] = p + 1
+		}
+	}
+}
+
+// NextUse returns the first position >= the cursor at which block b is
+// referenced, or Never if it is not referenced again. This is the
+// "next reference" every replacement rule in the paper is defined in
+// terms of.
+func (o *Oracle) NextUse(b layout.BlockID) int {
+	p := o.ptr[b]
+	if int(p) >= len(o.occ[b]) {
+		return Never
+	}
+	return int(o.occ[b][p])
+}
+
+// NextUseAfter returns the first position >= pos (with pos >= cursor) at
+// which b is referenced, or Never. Reverse aggressive's schedule
+// construction uses this to compute release times.
+func (o *Oracle) NextUseAfter(b layout.BlockID, pos int) int {
+	occ := o.occ[b]
+	lo, hi := int(o.ptr[b]), len(occ)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(occ[mid]) < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(occ) {
+		return Never
+	}
+	return int(occ[lo])
+}

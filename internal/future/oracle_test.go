@@ -1,0 +1,143 @@
+package future
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppcsim/internal/layout"
+)
+
+func seq(ids ...int) []layout.BlockID {
+	out := make([]layout.BlockID, len(ids))
+	for i, v := range ids {
+		out[i] = layout.BlockID(v)
+	}
+	return out
+}
+
+func TestNextUseBasic(t *testing.T) {
+	o := New(seq(0, 1, 0, 2, 1, 0), 3)
+	if got := o.NextUse(0); got != 0 {
+		t.Errorf("NextUse(0) = %d, want 0", got)
+	}
+	if got := o.NextUse(2); got != 3 {
+		t.Errorf("NextUse(2) = %d, want 3", got)
+	}
+	o.Advance(1)
+	if got := o.NextUse(0); got != 2 {
+		t.Errorf("after advance, NextUse(0) = %d, want 2", got)
+	}
+	o.Advance(4)
+	if got := o.NextUse(2); got != Never {
+		t.Errorf("NextUse(2) = %d, want Never", got)
+	}
+	if got := o.NextUse(1); got != 4 {
+		t.Errorf("NextUse(1) = %d, want 4", got)
+	}
+	o.Advance(6)
+	for b := 0; b < 3; b++ {
+		if got := o.NextUse(layout.BlockID(b)); got != Never {
+			t.Errorf("at end, NextUse(%d) = %d, want Never", b, got)
+		}
+	}
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	o := New(seq(0, 1), 2)
+	o.Advance(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on backwards advance")
+		}
+	}()
+	o.Advance(1)
+}
+
+func TestNextUseAfter(t *testing.T) {
+	o := New(seq(0, 1, 0, 1, 0), 2)
+	if got := o.NextUseAfter(0, 1); got != 2 {
+		t.Errorf("NextUseAfter(0,1) = %d, want 2", got)
+	}
+	if got := o.NextUseAfter(0, 3); got != 4 {
+		t.Errorf("NextUseAfter(0,3) = %d, want 4", got)
+	}
+	if got := o.NextUseAfter(1, 4); got != Never {
+		t.Errorf("NextUseAfter(1,4) = %d, want Never", got)
+	}
+	o.Advance(3)
+	if got := o.NextUseAfter(0, 3); got != 4 {
+		t.Errorf("after advance, NextUseAfter(0,3) = %d, want 4", got)
+	}
+}
+
+// naiveNextUse is the O(n) specification NextUse must match.
+func naiveNextUse(refs []layout.BlockID, cursor int, b layout.BlockID) int {
+	for p := cursor; p < len(refs); p++ {
+		if refs[p] == b {
+			return p
+		}
+	}
+	return Never
+}
+
+// TestNextUseMatchesNaive cross-checks the oracle against a quadratic
+// scan over random sequences and random advance patterns.
+func TestNextUseMatchesNaive(t *testing.T) {
+	f := func(raw []uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		const nBlocks = 8
+		refs := make([]layout.BlockID, len(raw))
+		for i, v := range raw {
+			refs[i] = layout.BlockID(v % nBlocks)
+		}
+		o := New(refs, nBlocks)
+		rng := rand.New(rand.NewSource(seed))
+		cursor := 0
+		for cursor < len(refs) {
+			for b := 0; b < nBlocks; b++ {
+				want := naiveNextUse(refs, cursor, layout.BlockID(b))
+				if got := o.NextUse(layout.BlockID(b)); got != want {
+					t.Logf("cursor=%d block=%d got=%d want=%d", cursor, b, got, want)
+					return false
+				}
+				// NextUseAfter from an arbitrary later position.
+				pos := cursor + rng.Intn(len(refs)-cursor+1)
+				wantAfter := naiveNextUse(refs, pos, layout.BlockID(b))
+				if got := o.NextUseAfter(layout.BlockID(b), pos); got != wantAfter {
+					t.Logf("after: cursor=%d pos=%d block=%d got=%d want=%d", cursor, pos, b, got, wantAfter)
+					return false
+				}
+			}
+			cursor += 1 + rng.Intn(3)
+			if cursor > len(refs) {
+				cursor = len(refs)
+			}
+			o.Advance(cursor)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOracleAccessors(t *testing.T) {
+	refs := seq(3, 1, 2)
+	o := New(refs, 4)
+	if o.Len() != 3 {
+		t.Errorf("Len = %d", o.Len())
+	}
+	if o.Cursor() != 0 {
+		t.Errorf("Cursor = %d", o.Cursor())
+	}
+	if o.Block(1) != 1 {
+		t.Errorf("Block(1) = %d", o.Block(1))
+	}
+	o.Advance(2)
+	if o.Cursor() != 2 {
+		t.Errorf("Cursor = %d after Advance(2)", o.Cursor())
+	}
+}

@@ -1,0 +1,138 @@
+// Package layout maps application data blocks onto a striped array of
+// disks, reproducing the data-placement policy of the paper (section 3.2):
+// data is striped across the array with a one-block stripe unit, and traces
+// that name blocks by (file, offset) pairs get a random starting point for
+// each file within a group of 8550 8-Kbyte blocks (100 cylinders on the
+// HP 97560), corresponding to typical file-system clustering.
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BlockSize is the simulated file-system block size in bytes (8 Kbytes).
+const BlockSize = 8192
+
+// GroupBlocks is the size, in blocks, of the placement group used for
+// per-file random starting points: 8550 blocks occupy 100 cylinders on the
+// HP 97560 (72 sectors/track * 19 tracks * 100 cylinders * 512 bytes /
+// 8192 bytes = 8550 blocks).
+const GroupBlocks = 8550
+
+// BlockID identifies one application-level file block.
+type BlockID int32
+
+// Place describes where a block lives on the array.
+type Place struct {
+	Disk int   // which disk holds the block
+	LBN  int64 // logical block number within that disk, in 8K blocks
+}
+
+// Layout maps BlockIDs to disk locations. A Layout is immutable after
+// construction and safe for concurrent readers.
+type Layout struct {
+	disks   int
+	place   []Place // indexed by BlockID
+	logical []int64 // logical (array-wide) block number, for tests
+}
+
+// Disks returns the number of disks in the array.
+func (l *Layout) Disks() int { return l.disks }
+
+// NumBlocks returns how many distinct blocks the layout maps.
+func (l *Layout) NumBlocks() int { return len(l.place) }
+
+// Lookup returns the placement of block b.
+func (l *Layout) Lookup(b BlockID) Place {
+	return l.place[b]
+}
+
+// Logical returns the array-wide logical block number assigned to b before
+// striping. Exposed for tests and diagnostics.
+func (l *Layout) Logical(b BlockID) int64 { return l.logical[b] }
+
+// stripe converts an array-wide logical block number into a per-disk
+// placement using a one-block stripe unit.
+func stripe(logical int64, disks int) Place {
+	return Place{
+		Disk: int(logical % int64(disks)),
+		LBN:  logical / int64(disks),
+	}
+}
+
+// New builds a layout for nBlocks distinct blocks whose trace identifies
+// them by logical file-system block number: block i is placed at
+// array-logical block i (then striped). This models the traces in the paper
+// that "referred to logical filesystem block numbers".
+func New(nBlocks, disks int) (*Layout, error) {
+	if disks <= 0 {
+		return nil, fmt.Errorf("layout: disks must be positive, got %d", disks)
+	}
+	if nBlocks < 0 {
+		return nil, fmt.Errorf("layout: negative block count %d", nBlocks)
+	}
+	l := &Layout{
+		disks:   disks,
+		place:   make([]Place, nBlocks),
+		logical: make([]int64, nBlocks),
+	}
+	for i := 0; i < nBlocks; i++ {
+		l.logical[i] = int64(i)
+		l.place[i] = stripe(int64(i), disks)
+	}
+	return l, nil
+}
+
+// File describes one file of a (file, offset)-addressed trace: its first
+// BlockID and its length in blocks. Blocks of the file are the contiguous
+// BlockID range [First, First+Blocks).
+type File struct {
+	First  BlockID
+	Blocks int
+}
+
+// NewFiles builds a layout for a trace that addresses blocks as
+// (file, offset) pairs. Each file is assigned a random starting point
+// within a group of GroupBlocks blocks (seeded deterministically by seed),
+// mirroring the paper's placement of files within 100-cylinder groups.
+// Consecutive files occupy consecutive groups, so distinct files never
+// collide. The resulting array-logical positions are then striped across
+// the disks with a one-block stripe unit.
+func NewFiles(files []File, disks int, seed int64) (*Layout, error) {
+	if disks <= 0 {
+		return nil, fmt.Errorf("layout: disks must be positive, got %d", disks)
+	}
+	total := 0
+	for i, f := range files {
+		if f.Blocks <= 0 {
+			return nil, fmt.Errorf("layout: file %d has non-positive size %d", i, f.Blocks)
+		}
+		if int(f.First) != total {
+			return nil, fmt.Errorf("layout: file %d starts at block %d, want contiguous %d", i, f.First, total)
+		}
+		total += f.Blocks
+	}
+	rng := rand.New(rand.NewSource(seed))
+	l := &Layout{
+		disks:   disks,
+		place:   make([]Place, total),
+		logical: make([]int64, total),
+	}
+	group := int64(0)
+	for _, f := range files {
+		// Number of whole groups this file spans, rounding up.
+		groupsNeeded := int64((f.Blocks + GroupBlocks - 1) / GroupBlocks)
+		// Random start within the group keeps the maximum intra-file seek
+		// small, as in the paper; the file may spill into the next group.
+		slack := int64(GroupBlocks*int(groupsNeeded) - f.Blocks)
+		start := group*GroupBlocks + rng.Int63n(slack+1)
+		for o := 0; o < f.Blocks; o++ {
+			b := int(f.First) + o
+			l.logical[b] = start + int64(o)
+			l.place[b] = stripe(start+int64(o), disks)
+		}
+		group += groupsNeeded
+	}
+	return l, nil
+}

@@ -1,0 +1,146 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewStripesRoundRobin(t *testing.T) {
+	l, err := New(100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Disks() != 4 || l.NumBlocks() != 100 {
+		t.Fatalf("got disks=%d blocks=%d", l.Disks(), l.NumBlocks())
+	}
+	for i := 0; i < 100; i++ {
+		p := l.Lookup(BlockID(i))
+		if p.Disk != i%4 {
+			t.Errorf("block %d on disk %d, want %d", i, p.Disk, i%4)
+		}
+		if p.LBN != int64(i/4) {
+			t.Errorf("block %d at LBN %d, want %d", i, p.LBN, i/4)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(10, 0); err == nil {
+		t.Error("zero disks should fail")
+	}
+	if _, err := New(10, -1); err == nil {
+		t.Error("negative disks should fail")
+	}
+	if _, err := New(-1, 2); err == nil {
+		t.Error("negative blocks should fail")
+	}
+	if l, err := New(0, 2); err != nil || l.NumBlocks() != 0 {
+		t.Errorf("empty layout should be fine, got %v", err)
+	}
+}
+
+func TestNewFilesContiguity(t *testing.T) {
+	files := []File{{0, 100}, {100, 50}, {150, GroupBlocks + 1}}
+	l, err := NewFiles(files, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		base := l.Logical(f.First)
+		for o := 0; o < f.Blocks; o++ {
+			b := f.First + BlockID(o)
+			if got := l.Logical(b); got != base+int64(o) {
+				t.Fatalf("file block %d logical %d, want %d (files must be contiguous on disk)", b, got, base+int64(o))
+			}
+			p := l.Lookup(b)
+			if want := (base + int64(o)) % 3; int64(p.Disk) != want {
+				t.Fatalf("block %d disk %d, want %d", b, p.Disk, want)
+			}
+			if want := (base + int64(o)) / 3; p.LBN != want {
+				t.Fatalf("block %d LBN %d, want %d", b, p.LBN, want)
+			}
+		}
+	}
+}
+
+func TestNewFilesGroupPlacement(t *testing.T) {
+	// Each file must start within its own group span and files must not
+	// overlap.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var files []File
+		next := 0
+		for i := 0; i < 10; i++ {
+			n := 1 + rng.Intn(2*GroupBlocks)
+			files = append(files, File{BlockID(next), n})
+			next += n
+		}
+		l, err := NewFiles(files, 1+rng.Intn(8), rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		group := int64(0)
+		for _, f := range files {
+			groups := int64((f.Blocks + GroupBlocks - 1) / GroupBlocks)
+			lo, hi := group*GroupBlocks, (group+groups)*GroupBlocks
+			start := l.Logical(f.First)
+			end := start + int64(f.Blocks)
+			if start < lo || end > hi {
+				t.Fatalf("file [%d,%d) placed at [%d,%d) outside group span [%d,%d)",
+					f.First, int(f.First)+f.Blocks, start, end, lo, hi)
+			}
+			group += groups
+		}
+	}
+}
+
+func TestNewFilesDeterministic(t *testing.T) {
+	files := []File{{0, 10}, {10, 20}}
+	a, _ := NewFiles(files, 2, 99)
+	b, _ := NewFiles(files, 2, 99)
+	for i := 0; i < 30; i++ {
+		if a.Logical(BlockID(i)) != b.Logical(BlockID(i)) {
+			t.Fatal("same seed must give same placement")
+		}
+	}
+	c, _ := NewFiles(files, 2, 100)
+	same := true
+	for i := 0; i < 30; i++ {
+		if a.Logical(BlockID(i)) != c.Logical(BlockID(i)) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("different seeds gave identical placement (possible but unlikely)")
+	}
+}
+
+func TestNewFilesErrors(t *testing.T) {
+	if _, err := NewFiles([]File{{0, 10}}, 0, 1); err == nil {
+		t.Error("zero disks should fail")
+	}
+	if _, err := NewFiles([]File{{0, 0}}, 1, 1); err == nil {
+		t.Error("empty file should fail")
+	}
+	if _, err := NewFiles([]File{{5, 10}}, 1, 1); err == nil {
+		t.Error("non-contiguous file numbering should fail")
+	}
+	if _, err := NewFiles([]File{{0, 10}, {11, 5}}, 1, 1); err == nil {
+		t.Error("gap in file numbering should fail")
+	}
+}
+
+// TestStripeProperty: striping is a bijection between logical numbers and
+// (disk, LBN) pairs.
+func TestStripeProperty(t *testing.T) {
+	f := func(logical uint16, disksRaw uint8) bool {
+		disks := int(disksRaw%16) + 1
+		p := stripe(int64(logical), disks)
+		back := p.LBN*int64(disks) + int64(p.Disk)
+		return back == int64(logical) && p.Disk >= 0 && p.Disk < disks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"ppcsim/internal/cache"
+	"ppcsim/internal/engine"
+	"ppcsim/internal/layout"
+)
+
+// Aggressive is the multi-disk aggressive algorithm (section 2.7 of the
+// paper): whenever a disk is free, construct a batch of up to batch-size
+// fetches for it — repeatedly take the first missing block on that disk
+// and pair it with the cached block whose next reference is furthest in
+// the future, as long as the do-no-harm rule allows. When several disks
+// are free at once, their missing blocks are considered together in order
+// of increasing request index.
+type Aggressive struct {
+	// BatchSize limits each batch; 0 selects the paper's Table 6 value
+	// for the array size.
+	BatchSize int
+	// MaxLookahead bounds how far past the cursor the missing-block scan
+	// walks (an implementation bound; 0 selects max(4*K, 4096)). The
+	// do-no-harm rule is the real limiter except when the cache holds
+	// blocks that are never referenced again.
+	MaxLookahead int
+
+	s       *engine.State
+	scan    missScanner
+	batch   int
+	horizon int
+	left    []int
+}
+
+// NewAggressive returns the multi-disk aggressive policy with the given
+// batch size (0 → Table 6 default for the array size).
+func NewAggressive(batchSize int) *Aggressive {
+	return &Aggressive{BatchSize: batchSize}
+}
+
+// Name implements engine.Policy.
+func (a *Aggressive) Name() string { return "aggressive" }
+
+// Attach implements engine.Policy.
+func (a *Aggressive) Attach(s *engine.State) {
+	a.s = s
+	a.scan = missScanner{s: s}
+	a.batch = a.BatchSize
+	if a.batch <= 0 {
+		a.batch = DefaultBatchSize(len(s.Drives))
+	}
+	a.horizon = a.MaxLookahead
+	if a.horizon <= 0 {
+		a.horizon = 4 * s.Cache.Capacity()
+		if a.horizon < 4096 {
+			a.horizon = 4096
+		}
+	}
+	a.left = make([]int, len(s.Drives))
+}
+
+// Poll implements engine.Policy: fill batches for every free disk.
+func (a *Aggressive) Poll() {
+	s := a.s
+	// Batch budget per free disk; zero entries mean the disk is busy.
+	left := a.left
+	anyFree := false
+	for i, d := range s.Drives {
+		left[i] = 0
+		if d.Outstanding() == 0 {
+			left[i] = a.batch
+			anyFree = true
+		}
+	}
+	if !anyFree {
+		return
+	}
+
+	limit := s.Cursor() + a.horizon
+	firstSkipped := -1
+	for {
+		p := a.scan.next(limit)
+		if p >= s.Len() || p >= limit {
+			break
+		}
+		b := s.Refs[p]
+		d := s.DiskOf(b)
+		if left[d] == 0 {
+			// The block's disk is busy or its batch is full: note the
+			// position so the scanner can resume here next time, and keep
+			// scanning for the free disks.
+			if firstSkipped < 0 {
+				firstSkipped = p
+			}
+			a.scan.pos = p + 1
+			continue
+		}
+		ok, victim := a.tryFetch(b, p)
+		if !ok {
+			// Do no harm disallows any further fetch: every later missing
+			// block is needed even later than this one.
+			break
+		}
+		a.scan.invalidate(victim)
+		left[d]--
+		// Check whether any free disk still has batch budget.
+		anyFree = false
+		for i := range s.Drives {
+			if left[i] > 0 {
+				anyFree = true
+				break
+			}
+		}
+		if !anyFree {
+			break
+		}
+	}
+	if firstSkipped >= 0 && firstSkipped < a.scan.pos {
+		// Restore the scanner invariant: the skipped position still
+		// references a missing block.
+		a.scan.pos = firstSkipped
+	}
+}
+
+// tryFetch applies optimal replacement + do no harm for block b whose
+// next reference is at position p.
+func (a *Aggressive) tryFetch(b layout.BlockID, p int) (bool, layout.BlockID) {
+	return issueWithVictim(a.s, b, p)
+}
+
+// OnStall implements engine.Policy: the stalled block is the first missing
+// block, so the do-no-harm rule always allows a demand fetch.
+func (a *Aggressive) OnStall(b layout.BlockID) {
+	s := a.s
+	if s.Cache.FreeBuffers() > 0 {
+		s.Issue(b, cache.NoBlock)
+		return
+	}
+	v, _ := s.Cache.FurthestEvictable()
+	if v == cache.NoBlock {
+		return // every buffer in flight; the engine retries
+	}
+	s.Issue(b, v)
+	a.scan.invalidate(v)
+}

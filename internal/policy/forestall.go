@@ -1,0 +1,316 @@
+package policy
+
+import (
+	"ppcsim/internal/cache"
+	"ppcsim/internal/engine"
+	"ppcsim/internal/layout"
+)
+
+const (
+	// historyLen is the number of recent disk accesses and compute times
+	// forestall averages when estimating F (section 5 of the paper).
+	historyLen = 100
+	// slowDiskMs is the average access time above which forestall
+	// overestimates F by 4x (section 5: traces with small access times —
+	// mostly readahead hits served in arrival order — need no
+	// overestimate; complicated patterns do).
+	slowDiskMs = 5.0
+	// overestimateFactor is that overestimate.
+	overestimateFactor = 4.0
+	// recheckCap bounds how long a disk's stall forecast may be trusted
+	// before rescanning, keeping the incremental trigger cheap.
+	recheckCap = 64
+	// defaultF seeds the estimate before any disk access completes.
+	defaultF = 15.0
+)
+
+// Forestall is the paper's new hybrid algorithm: it avoids stalling while
+// still making late (near-optimal) replacement decisions by estimating,
+// per disk, the point at which prefetching must begin to forestall a
+// stall. With dᵢ the distance to the i-th missing block on a disk and F'
+// an (over)estimate of the fetch-time/compute-time ratio, a stall is
+// inevitable once i·F' > dᵢ, so forestall starts batching prefetches for
+// that disk. It also applies fixed horizon's rule — fetch any missing
+// block within H references — to survive CSCAN reordering.
+type Forestall struct {
+	// BatchSize is the per-disk batch limit (0 → Table 6 default).
+	BatchSize int
+	// Horizon is the fixed-horizon safety rule's H (0 → DefaultHorizon).
+	Horizon int
+	// FixedF, when positive, disables dynamic estimation and uses this
+	// value for F' everywhere (the appendix-H configurations).
+	FixedF float64
+	// WindowBlocks bounds the missing-block scan to this many references
+	// past the cursor (0 → 2K as in the paper).
+	WindowBlocks int
+
+	s       *engine.State
+	batch   int
+	horizon int
+	window  int
+
+	// Recent-history F estimation.
+	diskHist [][]float64
+	diskSum  []float64
+	diskPos  []int
+	diskN    []int
+	cpuHist  []float64
+	cpuSum   float64
+	cpuPos   int
+	cpuN     int
+	seenCPU  int // cursor position up to which compute times were sampled
+
+	// Per-disk stall forecast: rescan disk d once the cursor reaches
+	// nextCheck[d].
+	nextCheck []int
+
+	// Fixed-horizon rule scan state.
+	fhScanned int
+	fhRetry   []int
+}
+
+// NewForestall returns the forestall policy with paper defaults.
+func NewForestall() *Forestall { return &Forestall{} }
+
+// Name implements engine.Policy.
+func (f *Forestall) Name() string { return "forestall" }
+
+// Attach implements engine.Policy.
+func (f *Forestall) Attach(s *engine.State) {
+	f.s = s
+	d := len(s.Drives)
+	f.batch = f.BatchSize
+	if f.batch <= 0 {
+		f.batch = DefaultBatchSize(d)
+	}
+	f.horizon = f.Horizon
+	if f.horizon <= 0 {
+		f.horizon = DefaultHorizon
+	}
+	f.window = f.WindowBlocks
+	if f.window <= 0 {
+		f.window = 2 * s.Cache.Capacity()
+	}
+	f.diskHist = make([][]float64, d)
+	for i := range f.diskHist {
+		f.diskHist[i] = make([]float64, historyLen)
+	}
+	f.diskSum = make([]float64, d)
+	f.diskPos = make([]int, d)
+	f.diskN = make([]int, d)
+	f.cpuHist = make([]float64, historyLen)
+	f.cpuSum, f.cpuPos, f.cpuN, f.seenCPU = 0, 0, 0, 0
+	f.nextCheck = make([]int, d)
+	f.fhScanned = 0
+	f.fhRetry = f.fhRetry[:0]
+	s.OnComplete = f.onComplete
+}
+
+// onComplete records a disk access time sample.
+func (f *Forestall) onComplete(d int, svc float64) {
+	h := f.diskHist[d]
+	f.diskSum[d] += svc - h[f.diskPos[d]]
+	h[f.diskPos[d]] = svc
+	f.diskPos[d] = (f.diskPos[d] + 1) % historyLen
+	if f.diskN[d] < historyLen {
+		f.diskN[d]++
+	}
+}
+
+// sampleCPU folds newly consumed inter-reference compute times into the
+// history ring.
+func (f *Forestall) sampleCPU() {
+	c := f.s.Cursor()
+	for ; f.seenCPU < c; f.seenCPU++ {
+		v := f.s.ComputeMs(f.seenCPU)
+		f.cpuSum += v - f.cpuHist[f.cpuPos]
+		f.cpuHist[f.cpuPos] = v
+		f.cpuPos = (f.cpuPos + 1) % historyLen
+		if f.cpuN < historyLen {
+			f.cpuN++
+		}
+	}
+}
+
+// fprime returns F' for disk d: the ratio of recent disk time to recent
+// compute time, overestimated 4x when the disk is slow, or the fixed
+// override.
+func (f *Forestall) fprime(d int) float64 {
+	if f.FixedF > 0 {
+		return f.FixedF
+	}
+	if f.diskN[d] == 0 || f.cpuN == 0 || f.cpuSum <= 0 {
+		return defaultF
+	}
+	meanDisk := f.diskSum[d] / float64(f.diskN[d])
+	meanCPU := f.cpuSum / float64(f.cpuN)
+	fEst := meanDisk / meanCPU
+	if meanDisk >= slowDiskMs {
+		fEst *= overestimateFactor
+	}
+	if fEst < 1 {
+		fEst = 1
+	}
+	return fEst
+}
+
+// Poll implements engine.Policy.
+func (f *Forestall) Poll() {
+	f.sampleCPU()
+	f.pollHorizonRule()
+	s := f.s
+	c := s.Cursor()
+	for d, dr := range s.Drives {
+		if dr.Outstanding() != 0 {
+			continue
+		}
+		if c < f.nextCheck[d] {
+			continue
+		}
+		f.forecast(d)
+	}
+}
+
+// forecast rescans disk d's upcoming missing blocks; if a stall is
+// inevitable (i*F' > d_i for some i), it issues a batch of prefetches,
+// otherwise it schedules the next check for when the forecast could first
+// turn bad.
+func (f *Forestall) forecast(d int) {
+	s := f.s
+	c := s.Cursor()
+	limit := c + f.window
+	if n := s.Len(); limit > n {
+		limit = n
+	}
+	fp := f.fprime(d)
+	i := 0
+	minSlack := 1 << 30
+	trigger := false
+	for p := c; p < limit; p++ {
+		b := s.Refs[p]
+		if !s.Cache.Absent(b) || s.DiskOf(b) != d {
+			continue
+		}
+		i++
+		slack := (p - c) - int(float64(i)*fp)
+		if slack < minSlack {
+			minSlack = slack
+		}
+		if slack < 0 {
+			trigger = true
+			break
+		}
+	}
+	if !trigger {
+		wait := minSlack
+		if wait < 1 {
+			wait = 1
+		}
+		if wait > recheckCap {
+			wait = recheckCap
+		}
+		f.nextCheck[d] = c + wait
+		return
+	}
+	f.issueBatch(d)
+	f.nextCheck[d] = c // re-evaluate at the next decision point
+}
+
+// issueBatch fetches up to batch-size first-missing blocks on disk d,
+// applying optimal replacement and do no harm.
+func (f *Forestall) issueBatch(d int) {
+	s := f.s
+	c := s.Cursor()
+	limit := c + f.window
+	if n := s.Len(); limit > n {
+		limit = n
+	}
+	left := f.batch
+	for p := c; p < limit && left > 0; p++ {
+		b := s.Refs[p]
+		if !s.Cache.Absent(b) || s.DiskOf(b) != d {
+			continue
+		}
+		ok, victim := issueWithVictim(s, b, p)
+		if !ok {
+			break // do no harm stops everything later too
+		}
+		f.noteEviction(victim)
+		left--
+	}
+}
+
+// pollHorizonRule applies fixed horizon's rule: fetch any missing block
+// within H references, replacing the furthest-future block. This guards
+// against stalls caused by CSCAN reordering when the i·F' > dᵢ rule
+// would otherwise delay fetching (section 5, "practical considerations").
+func (f *Forestall) pollHorizonRule() {
+	s := f.s
+	c := s.Cursor()
+	limit := c + f.horizon
+	if n := s.Len(); limit > n {
+		limit = n
+	}
+	if len(f.fhRetry) > 0 {
+		kept := f.fhRetry[:0]
+		for _, p := range f.fhRetry {
+			if p < c {
+				continue
+			}
+			b := s.Refs[p]
+			if !s.Cache.Absent(b) {
+				continue
+			}
+			if !f.fetchWithin(b, p) {
+				kept = append(kept, p)
+			}
+		}
+		f.fhRetry = kept
+	}
+	if f.fhScanned < c {
+		f.fhScanned = c
+	}
+	for ; f.fhScanned < limit; f.fhScanned++ {
+		b := s.Refs[f.fhScanned]
+		if !s.Cache.Absent(b) {
+			continue
+		}
+		if !f.fetchWithin(b, f.fhScanned) {
+			f.fhRetry = append(f.fhRetry, f.fhScanned)
+		}
+	}
+}
+
+// fetchWithin issues the horizon-rule fetch of b needed at position p.
+func (f *Forestall) fetchWithin(b layout.BlockID, p int) bool {
+	ok, victim := issueWithVictim(f.s, b, p)
+	if ok {
+		f.noteEviction(victim)
+	}
+	return ok
+}
+
+// noteEviction invalidates the stall forecast of the victim's disk: its
+// next use has become a missing block.
+func (f *Forestall) noteEviction(v layout.BlockID) {
+	if v == cache.NoBlock {
+		return
+	}
+	if u := f.s.Oracle.NextUse(v); u < f.s.Cursor()+f.window {
+		f.nextCheck[f.s.DiskOf(v)] = 0
+	}
+}
+
+// OnStall implements engine.Policy.
+func (f *Forestall) OnStall(b layout.BlockID) {
+	s := f.s
+	if s.Cache.FreeBuffers() > 0 {
+		s.Issue(b, cache.NoBlock)
+	} else if v, _ := s.Cache.FurthestEvictable(); v != cache.NoBlock {
+		s.Issue(b, v)
+		f.noteEviction(v)
+	}
+	for d := range f.nextCheck {
+		f.nextCheck[d] = 0
+	}
+}

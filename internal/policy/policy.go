@@ -1,0 +1,94 @@
+// Package policy implements the online integrated prefetching and caching
+// algorithms compared by the paper: optimal demand fetching, fixed
+// horizon, (multi-disk) aggressive, and forestall. The offline reverse
+// aggressive algorithm lives in package revagg.
+package policy
+
+import (
+	"ppcsim/internal/cache"
+	"ppcsim/internal/engine"
+	"ppcsim/internal/layout"
+)
+
+// DefaultBatchSizes reproduces Table 6 of the paper: the batch size used
+// by aggressive (and forestall) as a function of the number of disks.
+func DefaultBatchSize(disks int) int {
+	switch {
+	case disks <= 1:
+		return 80
+	case disks <= 3:
+		return 40
+	case disks <= 5:
+		return 16
+	case disks <= 7:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// missScanner incrementally finds the next "missing" position: the first
+// position at or after the cursor whose block is neither present nor in
+// flight. The invariant is that every position in [cursor, pos) referenced
+// a block that was present or in flight when scanned; evictions that
+// falsify this must be reported via invalidate.
+type missScanner struct {
+	s   *engine.State
+	pos int
+}
+
+// next returns the first missing position >= the cursor, or the trace
+// length if none exists at or before limit (exclusive). The scan never
+// walks past limit.
+func (m *missScanner) next(limit int) int {
+	c := m.s.Cursor()
+	if m.pos < c {
+		m.pos = c
+	}
+	n := m.s.Len()
+	if limit > n {
+		limit = n
+	}
+	for m.pos < limit {
+		b := m.s.Refs[m.pos]
+		if m.s.Cache.Absent(b) {
+			return m.pos
+		}
+		m.pos++
+	}
+	return n
+}
+
+// invalidate rewinds the scanner after block v was evicted: its next use
+// may now be a missing position the scanner already passed.
+func (m *missScanner) invalidate(v layout.BlockID) {
+	if v == cache.NoBlock {
+		return
+	}
+	if u := m.s.Oracle.NextUse(v); u < m.pos {
+		m.pos = u
+	}
+}
+
+// issueWithVictim fetches block b applying the optimal replacement rule
+// and the do-no-harm rule: the victim is the present block whose next
+// reference is furthest in the future; the fetch happens only if a free
+// buffer exists or the victim's next use is after needPos. It reports
+// whether the fetch was issued, and the victim used (NoBlock if none).
+func issueWithVictim(s *engine.State, b layout.BlockID, needPos int) (bool, layout.BlockID) {
+	if s.Cache.FreeBuffers() > 0 {
+		s.Issue(b, cache.NoBlock)
+		return true, cache.NoBlock
+	}
+	v, vUse := s.Cache.FurthestEvictable()
+	if v == cache.NoBlock {
+		return false, cache.NoBlock
+	}
+	if vUse <= needPos {
+		// Do no harm: never evict a block needed no later than the block
+		// being fetched.
+		return false, cache.NoBlock
+	}
+	s.Issue(b, v)
+	return true, v
+}

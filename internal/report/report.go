@@ -1,0 +1,173 @@
+// Package report renders experiment results as aligned text tables and
+// simple ASCII stacked-bar charts, standing in for the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row, formatting every cell with %v (floats as %.3g is
+// the caller's job; use F or Ms helpers for consistency).
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// F formats a float with three decimals, trimming trailing zeros.
+func F(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// I formats an integer.
+func I(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintf(w, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(cells))
+		for i, cell := range cells {
+			if i == 0 {
+				parts = append(parts, fmt.Sprintf("%-*s", widths[i], cell))
+			} else {
+				parts = append(parts, fmt.Sprintf("%*s", widths[i], cell))
+			}
+		}
+		fmt.Fprintf(w, "%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Bar is one stacked bar of a Figure: a label and the stacked segment
+// values (e.g. cpu, driver, stall).
+type Bar struct {
+	Label    string
+	Segments []float64
+}
+
+// Figure is an ASCII stacked-bar chart, the textual analogue of the
+// paper's elapsed-time breakdown figures.
+type Figure struct {
+	Title    string
+	SegNames []string // names of the stacked segments, in order
+	SegGlyph []rune   // one glyph per segment (defaults provided)
+	Unit     string   // e.g. "s"
+	Bars     []Bar
+	Width    int // max bar width in characters (default 60)
+}
+
+// DefaultGlyphs used when SegGlyph is unset.
+var DefaultGlyphs = []rune{'#', '+', '.', '~', 'o'}
+
+// Add appends a bar.
+func (f *Figure) Add(label string, segments ...float64) {
+	f.Bars = append(f.Bars, Bar{Label: label, Segments: segments})
+}
+
+// Render writes the chart.
+func (f *Figure) Render(w io.Writer) {
+	width := f.Width
+	if width <= 0 {
+		width = 60
+	}
+	glyphs := f.SegGlyph
+	if len(glyphs) == 0 {
+		glyphs = DefaultGlyphs
+	}
+	if f.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", f.Title, strings.Repeat("=", len(f.Title)))
+	}
+	var legend []string
+	for i, n := range f.SegNames {
+		g := glyphs[i%len(glyphs)]
+		legend = append(legend, fmt.Sprintf("%c %s", g, n))
+	}
+	fmt.Fprintf(w, "legend: %s\n", strings.Join(legend, ", "))
+	maxTotal, maxLabel := 0.0, 0
+	for _, b := range f.Bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	for _, b := range f.Bars {
+		var sb strings.Builder
+		total := 0.0
+		for i, s := range b.Segments {
+			n := int(s / maxTotal * float64(width))
+			g := glyphs[i%len(glyphs)]
+			sb.WriteString(strings.Repeat(string(g), n))
+			total += s
+		}
+		fmt.Fprintf(w, "%-*s |%-*s| %s%s\n", maxLabel, b.Label, width, sb.String(), F(total), f.Unit)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	f.Render(&b)
+	return b.String()
+}

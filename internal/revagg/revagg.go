@@ -1,0 +1,536 @@
+// Package revagg implements the reverse aggressive algorithm of
+// Kimbrel and Karlin, as evaluated by the paper (sections 2.5 and 2.7).
+//
+// Reverse aggressive is offline: assuming a fixed ratio F between disk
+// fetch time and inter-reference compute time, it first constructs a
+// prefetching schedule for the *reversed* request sequence — whenever a
+// disk is free, take the block B not needed for the longest time residing
+// on that disk and, if B's next request is after the first missing block
+// M, "fetch" M replacing B (the operation occupies B's disk, because in
+// the forward direction it is a real fetch of B). The reverse schedule is
+// then transformed into forward fetch/eviction pairs: a reverse eviction
+// of B becomes a forward fetch of B, and a reverse fetch of M becomes a
+// forward eviction of M with a release time (one past M's last forward
+// reference before it is fetched back). Fetches are ordered by the
+// forward request index they serve, evictions by release time, and the
+// two lists are matched rank by rank. The forward pass replays this
+// schedule against the real disk model in batches, exactly as the paper
+// describes.
+package revagg
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"ppcsim/internal/cache"
+	"ppcsim/internal/engine"
+	"ppcsim/internal/future"
+	"ppcsim/internal/layout"
+)
+
+// Op is one forward fetch/eviction pair of the constructed schedule.
+type Op struct {
+	Fetch layout.BlockID
+	// NeedIdx is the forward request index the fetch serves (len(refs)
+	// for a fetch that serves no later reference).
+	NeedIdx int
+	// Evict is the block evicted when the fetch issues, or cache.NoBlock
+	// for the unpaired fetches of the initial working set.
+	Evict layout.BlockID
+	// Release is the earliest forward index at which Evict may be evicted.
+	Release int
+}
+
+// Schedule is the transformed forward schedule: the initial working-set
+// fetches (no eviction, release 0) followed by the reverse pass's
+// operations in reversed emission order, which is forward-chronological.
+// Keeping the reverse pass's own fetch/eviction pairing (rather than
+// re-sorting and re-matching by rank) guarantees that every eviction of a
+// block precedes its scheduled refetch and that each pair's release time
+// protects exactly the block it evicts.
+type Schedule struct {
+	Ops []Op
+}
+
+// BuildSchedule runs the reverse pass in the theoretical model (unit
+// compute time per reference, F time units per fetch, fetches batched per
+// disk) and returns the forward schedule.
+//
+// diskOf maps each block to its disk; nBlocks is the block ID space;
+// capacity is the cache size K.
+func BuildSchedule(refs []layout.BlockID, diskOf func(layout.BlockID) int, nBlocks, disks, capacity int, f float64, batch int) (*Schedule, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("revagg: capacity %d", capacity)
+	}
+	if f <= 0 {
+		return nil, fmt.Errorf("revagg: fetch time estimate %g", f)
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("revagg: batch %d", batch)
+	}
+	n := len(refs)
+	rev := make([]layout.BlockID, n)
+	for i, b := range refs {
+		rev[n-1-i] = b
+	}
+	oracle := future.New(rev, nBlocks)
+
+	st := make([]uint8, nBlocks) // 0 absent, 1 in-flight, 2 present
+	const (
+		absent  = 0
+		flying  = 1
+		present = 2
+	)
+	used := 0
+	lastUse := make([]int, nBlocks) // last consumed reverse index, -1 if none
+	for i := range lastUse {
+		lastUse[i] = -1
+	}
+	heaps := make([]evictHeap, disks) // per-disk furthest-next-use heaps
+	freeAt := make([]float64, disks)
+	type flight struct {
+		block layout.BlockID
+		done  float64
+	}
+	var inflight []flight
+
+	// Forward ops under construction. Paired ops record both sides; drain
+	// ops are appended at the end.
+	type revOp struct {
+		fwdFetch layout.BlockID // B: evicted in reverse
+		needIdx  int
+		fwdEvict layout.BlockID // M: fetched in reverse
+		release  int
+	}
+	var pairs []revOp
+
+	// Incremental first-missing scanner over the reverse sequence.
+	scanPos := 0
+	nextMissing := func(cursor int) int {
+		if scanPos < cursor {
+			scanPos = cursor
+		}
+		for scanPos < n {
+			b := rev[scanPos]
+			if st[b] == absent {
+				return scanPos
+			}
+			scanPos++
+		}
+		return n
+	}
+
+	needIdxOf := func(b layout.BlockID) int {
+		// Forward index served by a forward fetch of b emitted now: b's
+		// most recent consumed reverse reference. A block evicted before
+		// its first reverse use serves nothing (index n).
+		if lastUse[b] < 0 {
+			return n
+		}
+		return n - 1 - lastUse[b]
+	}
+
+	push := func(d int, b layout.BlockID) {
+		heap.Push(&heaps[d], evEntry{b, int32(oracle.NextUse(b))})
+	}
+	furthestOn := func(d int) (layout.BlockID, int) {
+		h := &heaps[d]
+		for h.Len() > 0 {
+			top := (*h)[0]
+			if st[top.block] != present || int(top.next) != oracle.NextUse(top.block) {
+				heap.Pop(h)
+				continue
+			}
+			return top.block, int(top.next)
+		}
+		return cache.NoBlock, -1
+	}
+
+	t := 0.0
+	cursor := 0
+	for cursor < n {
+		// Complete arrived fetches.
+		kept := inflight[:0]
+		for _, fl := range inflight {
+			if fl.done <= t {
+				st[fl.block] = present
+				push(diskOf(fl.block), fl.block)
+			} else {
+				kept = append(kept, fl)
+			}
+		}
+		inflight = kept
+
+		// Warmup: while the cache is not full, missing blocks enter
+		// instantly — in the forward direction these blocks simply remain
+		// cached at the end of the run, so no operation is emitted.
+		for used < capacity {
+			p := nextMissing(cursor)
+			if p >= n {
+				break
+			}
+			b := rev[p]
+			st[b] = present
+			used++
+			push(diskOf(b), b)
+		}
+
+		// Batch construction on every free disk.
+		if used >= capacity {
+			for d := 0; d < disks; d++ {
+				if freeAt[d] > t {
+					continue
+				}
+				for k := 0; k < batch; k++ {
+					p := nextMissing(cursor)
+					if p >= n {
+						break
+					}
+					m := rev[p]
+					b, bNext := furthestOn(d)
+					if b == cache.NoBlock || bNext <= p {
+						break // do no harm on this disk
+					}
+					// Emit the op: forward fetch of B serving needIdxOf(B),
+					// forward eviction of M with release n-1-p+1 = n-p.
+					pairs = append(pairs, revOp{
+						fwdFetch: b,
+						needIdx:  needIdxOf(b),
+						fwdEvict: m,
+						release:  n - p,
+					})
+					st[b] = absent
+					if u := oracle.NextUse(b); u < scanPos {
+						// B's next reverse use is missing again and may be
+						// behind the scanner.
+						scanPos = u
+					}
+					done := freeAt[d]
+					if done < t {
+						done = t
+					}
+					done += f
+					freeAt[d] = done
+					st[m] = flying
+					inflight = append(inflight, flight{m, done})
+				}
+			}
+		}
+
+		// Advance: serve the reference if present, otherwise jump to the
+		// earliest in-flight completion.
+		b := rev[cursor]
+		if st[b] == present {
+			lastUse[b] = cursor
+			cursor++
+			oracle.Advance(cursor)
+			if st[b] == present {
+				push(diskOf(b), b)
+			}
+			t += 1
+			continue
+		}
+		// Stalled: the block must be in flight (it is the first missing
+		// block, so do-no-harm always allows fetching it when a disk
+		// frees; in the worst case we wait for a disk).
+		nextT := t + 1
+		stalledOnFlight := false
+		for _, fl := range inflight {
+			if fl.block == b {
+				nextT = fl.done
+				stalledOnFlight = true
+				break
+			}
+		}
+		if !stalledOnFlight {
+			// Wait for the earliest disk to free so the batch logic can
+			// fetch it.
+			earliest := freeAt[0]
+			for _, fa := range freeAt[1:] {
+				if fa < earliest {
+					earliest = fa
+				}
+			}
+			if earliest <= t {
+				return nil, fmt.Errorf("revagg: reverse pass wedged at reverse index %d (block %d)", cursor, b)
+			}
+			nextT = earliest
+		}
+		t = nextT
+	}
+
+	// Drain: blocks still cached at the end of the reverse pass are the
+	// forward run's initial working set — fetched from a cold cache with
+	// no eviction, released immediately, ordered by the reference they
+	// serve.
+	var ops []Op
+	for blk := 0; blk < nBlocks; blk++ {
+		if st[blk] == present || st[blk] == flying {
+			ops = append(ops, Op{
+				Fetch:   layout.BlockID(blk),
+				NeedIdx: needIdxOf(layout.BlockID(blk)),
+				Evict:   cache.NoBlock,
+				Release: 0,
+			})
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].NeedIdx < ops[j].NeedIdx })
+	// The paired operations follow in reversed emission order (reverse
+	// time runs backwards through forward time). An eviction of a block
+	// always precedes that block's next scheduled fetch in this order.
+	for i := len(pairs) - 1; i >= 0; i-- {
+		p := pairs[i]
+		ops = append(ops, Op{
+			Fetch:   p.fwdFetch,
+			NeedIdx: p.needIdx,
+			Evict:   p.fwdEvict,
+			Release: p.release,
+		})
+	}
+	return &Schedule{Ops: ops}, nil
+}
+
+// evEntry / evictHeap: lazy max-heap on reverse next use.
+type evEntry struct {
+	block layout.BlockID
+	next  int32
+}
+
+type evictHeap []evEntry
+
+func (h evictHeap) Len() int            { return len(h) }
+func (h evictHeap) Less(i, j int) bool  { return h[i].next > h[j].next }
+func (h evictHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evictHeap) Push(x interface{}) { *h = append(*h, x.(evEntry)) }
+func (h *evictHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Stats for diagnostics (read after a run; not part of the public API).
+type Stats struct {
+	ForcedIssues int // OnStall force-issues of scheduled ops
+	AdHocIssues  int // OnStall fetches with no scheduled op
+	FallbackEvts int // evictions that deviated from the schedule
+}
+
+// Policy replays a reverse aggressive schedule against the real disk
+// model: whenever a disk is free, it issues the first up to batch-size
+// released pairs whose fetch block resides on that disk.
+type Policy struct {
+	// FetchEstimate is the fixed F used to construct the schedule
+	// (0 → 32, a mid-range value; the experiments sweep it).
+	FetchEstimate float64
+	// BatchSize is both the reverse-pass and forward-pass batch size
+	// (0 → the Table 6 default for the array size).
+	BatchSize int
+
+	s      *engine.State
+	sched  *Schedule
+	byDisk [][]int // per disk: op indices in rank order
+	ptr    []int   // per disk: next unconsidered position in byDisk
+	issued []bool  // per op
+	// pending fetch ops per block (rank order) for stall fallback.
+	pending map[layout.BlockID][]int
+	batch   int
+
+	// Diagnostics.
+	Stat Stats
+	// ignoreReleases disables release gating (diagnostics only).
+	ignoreReleases bool
+}
+
+// New returns a reverse aggressive policy with the given schedule
+// parameters.
+func New(fetchEstimate float64, batchSize int) *Policy {
+	return &Policy{FetchEstimate: fetchEstimate, BatchSize: batchSize}
+}
+
+// Name implements engine.Policy.
+func (p *Policy) Name() string { return "reverse-aggressive" }
+
+// Attach implements engine.Policy: it constructs the offline schedule.
+func (p *Policy) Attach(s *engine.State) {
+	p.s = s
+	f := p.FetchEstimate
+	if f <= 0 {
+		f = 32
+	}
+	p.batch = p.BatchSize
+	if p.batch <= 0 {
+		p.batch = defaultBatch(len(s.Drives))
+	}
+	sched, err := BuildSchedule(s.Refs, func(b layout.BlockID) int { return s.DiskOf(b) },
+		s.Layout.NumBlocks(), len(s.Drives), s.Cache.Capacity(), f, p.batch)
+	if err != nil {
+		panic(fmt.Sprintf("revagg: %v", err))
+	}
+	p.sched = sched
+	d := len(s.Drives)
+	p.byDisk = make([][]int, d)
+	p.ptr = make([]int, d)
+	p.issued = make([]bool, len(sched.Ops))
+	p.pending = make(map[layout.BlockID][]int, len(sched.Ops))
+	for k, op := range sched.Ops {
+		dd := s.DiskOf(op.Fetch)
+		p.byDisk[dd] = append(p.byDisk[dd], k)
+		p.pending[op.Fetch] = append(p.pending[op.Fetch], k)
+	}
+	// Issue fetches in increasing request-index order per disk, as the
+	// paper prescribes ("fetches may need to be re-ordered according to
+	// increasing request index"): this restores the spatial locality of
+	// the request stream for CSCAN and the drive's readahead cache. Each
+	// op keeps its own eviction and release time, so the reordering
+	// cannot evict a block before its scheduled refetch: the eviction's
+	// release is past the refetched block's use, and the engine's stall
+	// handling force-issues any fetch the cursor catches up with.
+	for d := range p.byDisk {
+		q := p.byDisk[d]
+		sort.SliceStable(q, func(i, j int) bool {
+			return sched.Ops[q[i]].NeedIdx < sched.Ops[q[j]].NeedIdx
+		})
+	}
+}
+
+// defaultBatch mirrors policy.DefaultBatchSize without importing it (to
+// avoid a dependency cycle if policy ever grows a revagg reference).
+func defaultBatch(disks int) int {
+	switch {
+	case disks <= 1:
+		return 80
+	case disks <= 3:
+		return 40
+	case disks <= 5:
+		return 16
+	case disks <= 7:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// released reports whether op k's eviction (if any) may happen now.
+func (p *Policy) released(k int) bool {
+	op := p.sched.Ops[k]
+	if op.Evict == cache.NoBlock || p.ignoreReleases {
+		return true
+	}
+	return op.Release <= p.s.Cursor()
+}
+
+// scanWindow bounds how far past the first unissued op a disk's queue is
+// searched for released pairs (releases are only approximately monotone
+// in emission order).
+const scanWindow = 256
+
+// issueOp executes op k. Returns false if it cannot be issued legally.
+func (p *Policy) issueOp(k int) bool {
+	s := p.s
+	op := p.sched.Ops[k]
+	if !s.Cache.Absent(op.Fetch) {
+		// Already fetched (e.g. by a stall fallback); consume silently.
+		p.issued[k] = true
+		p.dropPending(op.Fetch, k)
+		return true
+	}
+	victim := cache.NoBlock
+	switch {
+	case op.Evict != cache.NoBlock && s.Cache.Present(op.Evict):
+		victim = op.Evict
+	case s.Cache.FreeBuffers() > 0:
+		victim = cache.NoBlock
+	default:
+		// The scheduled victim is gone (consumed by a fallback); evict
+		// the furthest-future block instead.
+		v, vUse := s.Cache.FurthestEvictable()
+		if v == cache.NoBlock || vUse <= op.NeedIdx {
+			return false
+		}
+		victim = v
+		p.Stat.FallbackEvts++
+	}
+	s.Issue(op.Fetch, victim)
+	p.issued[k] = true
+	p.dropPending(op.Fetch, k)
+	return true
+}
+
+func (p *Policy) dropPending(b layout.BlockID, k int) {
+	lst := p.pending[b]
+	for i, kk := range lst {
+		if kk == k {
+			p.pending[b] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// Poll implements engine.Policy.
+func (p *Policy) Poll() {
+	s := p.s
+	for d, dr := range s.Drives {
+		if dr.Outstanding() != 0 {
+			continue
+		}
+		budget := p.batch
+		q := p.byDisk[d]
+		for p.ptr[d] < len(q) && p.issued[q[p.ptr[d]]] {
+			p.ptr[d]++
+		}
+		for off := 0; off < scanWindow && budget > 0; off++ {
+			i := p.ptr[d] + off
+			if i >= len(q) {
+				break
+			}
+			k := q[i]
+			if p.issued[k] || !p.released(k) {
+				continue
+			}
+			if !p.issueOp(k) {
+				continue
+			}
+			budget--
+		}
+	}
+}
+
+// OnStall implements engine.Policy: force-issue the scheduled fetch for
+// the stalled block, or fall back to a demand fetch.
+func (p *Policy) OnStall(b layout.BlockID) {
+	s := p.s
+	p.Stat.ForcedIssues++
+	if lst := p.pending[b]; len(lst) > 0 {
+		k := lst[0]
+		op := p.sched.Ops[k]
+		victim := cache.NoBlock
+		switch {
+		case op.Evict != cache.NoBlock && s.Cache.Present(op.Evict):
+			victim = op.Evict
+		case s.Cache.FreeBuffers() > 0:
+			victim = cache.NoBlock
+		default:
+			victim, _ = s.Cache.FurthestEvictable()
+			if victim == cache.NoBlock {
+				return // every buffer in flight; the engine retries
+			}
+		}
+		s.Issue(b, victim)
+		p.issued[k] = true
+		p.dropPending(b, k)
+		return
+	}
+	// No scheduled fetch (should not happen with a sound schedule): plain
+	// demand fetch.
+	p.Stat.AdHocIssues++
+	if s.Cache.FreeBuffers() > 0 {
+		s.Issue(b, cache.NoBlock)
+		return
+	}
+	if v, _ := s.Cache.FurthestEvictable(); v != cache.NoBlock {
+		s.Issue(b, v)
+	}
+}

@@ -1,0 +1,331 @@
+// Package theory implements the paper's theoretical model (section 2.1):
+// a cache of K blocks over d storage devices, a known request sequence,
+// one time unit per cache hit, and F time units per fetch, with fetches
+// serialized per disk and the evicted block unavailable from the moment
+// its replacement fetch starts.
+//
+// The package exists to validate algorithmic behavior independent of the
+// disk-accurate simulator — in particular it replays the worked example
+// of the paper's Figure 1 (see the tests) — and to execute explicit
+// prefetching schedules.
+package theory
+
+import (
+	"fmt"
+
+	"ppcsim/internal/future"
+	"ppcsim/internal/layout"
+)
+
+// Config describes a theoretical system.
+type Config struct {
+	// K is the cache size in blocks.
+	K int
+	// F is the fetch time in time units (a cache hit takes 1).
+	F float64
+	// Disks is the number of storage devices.
+	Disks int
+	// DiskOf maps each block to its device.
+	DiskOf func(layout.BlockID) int
+	// NBlocks is the block ID space.
+	NBlocks int
+	// InitialCache is the set of blocks present at time zero.
+	InitialCache []layout.BlockID
+}
+
+// Op is an explicit fetch/eviction pair of a schedule: at time At (or as
+// soon after as the fetched block's disk is free), fetch Fetch, evicting
+// Evict (NoBlock for none).
+type Op struct {
+	At    float64
+	Fetch layout.BlockID
+	Evict layout.BlockID
+}
+
+// NoBlock marks the absence of an eviction.
+const NoBlock = layout.BlockID(-1)
+
+// Policy decides fetches in the theoretical model. It is consulted at
+// every decision point and may issue fetches through the Sim.
+type Policy interface {
+	// Decide may call sim.Issue any number of times.
+	Decide(sim *Sim)
+}
+
+// Sim is a running theoretical-model simulation.
+type Sim struct {
+	cfg    Config
+	refs   []layout.BlockID
+	oracle *future.Oracle
+
+	t       float64
+	present map[layout.BlockID]bool
+	flight  map[layout.BlockID]float64 // block -> completion time
+	freeAt  []float64
+
+	fetches int
+	stall   float64
+}
+
+// NewSim prepares a simulation of the given sequence.
+func NewSim(cfg Config, refs []layout.BlockID) (*Sim, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("theory: K must be positive")
+	}
+	if cfg.F <= 0 {
+		return nil, fmt.Errorf("theory: F must be positive")
+	}
+	if cfg.Disks <= 0 {
+		return nil, fmt.Errorf("theory: need at least one disk")
+	}
+	if len(cfg.InitialCache) > cfg.K {
+		return nil, fmt.Errorf("theory: initial cache exceeds K")
+	}
+	s := &Sim{
+		cfg:     cfg,
+		refs:    refs,
+		oracle:  future.New(refs, cfg.NBlocks),
+		present: make(map[layout.BlockID]bool, cfg.K),
+		flight:  make(map[layout.BlockID]float64),
+		freeAt:  make([]float64, cfg.Disks),
+	}
+	for _, b := range cfg.InitialCache {
+		s.present[b] = true
+	}
+	return s, nil
+}
+
+// Now returns the current time.
+func (s *Sim) Now() float64 { return s.t }
+
+// Cursor returns the index of the next reference.
+func (s *Sim) Cursor() int { return s.oracle.Cursor() }
+
+// Oracle exposes next-use queries.
+func (s *Sim) Oracle() *future.Oracle { return s.oracle }
+
+// Present reports whether b is available.
+func (s *Sim) Present(b layout.BlockID) bool { return s.present[b] }
+
+// InFlight reports whether b is being fetched.
+func (s *Sim) InFlight(b layout.BlockID) bool { _, ok := s.flight[b]; return ok }
+
+// Used returns the number of occupied buffers (present + in flight).
+func (s *Sim) Used() int { return len(s.present) + len(s.flight) }
+
+// DiskFreeAt returns when disk d finishes its current fetch.
+func (s *Sim) DiskFreeAt(d int) float64 { return s.freeAt[d] }
+
+// Fetches returns the number of fetches issued.
+func (s *Sim) Fetches() int { return s.fetches }
+
+// Issue starts a fetch of b (must be absent), evicting victim (must be
+// present, or NoBlock with a free buffer). The fetch starts when b's disk
+// is next free and completes F later. Returns the completion time.
+func (s *Sim) Issue(b, victim layout.BlockID) (float64, error) {
+	if s.present[b] || s.InFlight(b) {
+		return 0, fmt.Errorf("theory: fetch of non-absent block %d", b)
+	}
+	if victim == NoBlock {
+		if s.Used() >= s.cfg.K {
+			return 0, fmt.Errorf("theory: fetch of %d without victim but cache full", b)
+		}
+	} else {
+		if !s.present[victim] {
+			return 0, fmt.Errorf("theory: victim %d not present", victim)
+		}
+		delete(s.present, victim)
+	}
+	d := s.cfg.DiskOf(b)
+	start := s.t
+	if s.freeAt[d] > start {
+		start = s.freeAt[d]
+	}
+	done := start + s.cfg.F
+	s.freeAt[d] = done
+	s.flight[b] = done
+	s.fetches++
+	return done, nil
+}
+
+// Run executes the sequence to completion under the policy (which may be
+// nil to replay already-issued or demand-only schedules) and returns the
+// elapsed time: the number of references plus the total stall.
+//
+// The timing convention matches the paper's Figure 1: the reference at
+// position c is served at time instant c (plus accumulated stall), a
+// fetch issued at instant t is usable by the reference at instant t+F,
+// and policy decisions are made immediately after each reference is
+// served. This reproduces the example's elapsed times of 7 (aggressive)
+// and 6 (the better schedule) exactly; see the package tests.
+func (s *Sim) Run(p Policy) (float64, error) {
+	n := len(s.refs)
+	if p != nil {
+		// First opportunity: the policy may fetch before the first
+		// reference (this is what makes aggressive evict F rather than
+		// the about-to-be-dead A in Figure 1a).
+		p.Decide(s)
+	}
+	for cursor := 0; cursor < n; {
+		s.completeArrived()
+		b := s.refs[cursor]
+		if s.present[b] {
+			// Serve the reference at instant s.t, then let the policy
+			// react, then advance one time unit.
+			cursor++
+			s.oracle.Advance(cursor)
+			if p != nil {
+				p.Decide(s)
+			}
+			s.t++
+			continue
+		}
+		if done, ok := s.flight[b]; ok {
+			// Stall until the block arrives.
+			if done < s.t {
+				done = s.t
+			}
+			s.stall += done - s.t
+			s.t = done
+			s.completeArrived()
+			continue
+		}
+		// Demand fetch: the policy did not cover this reference.
+		victim := NoBlock
+		if s.Used() >= s.cfg.K {
+			victim = s.furthest()
+			if victim == NoBlock {
+				return 0, fmt.Errorf("theory: no evictable block at position %d", cursor)
+			}
+		}
+		if _, err := s.Issue(b, victim); err != nil {
+			return 0, err
+		}
+	}
+	return s.t, nil
+}
+
+// Stall returns the accumulated stall time after Run.
+func (s *Sim) Stall() float64 { return s.stall }
+
+func (s *Sim) completeArrived() {
+	for b, done := range s.flight {
+		if done <= s.t {
+			delete(s.flight, b)
+			s.present[b] = true
+		}
+	}
+}
+
+// furthest returns the present block with the furthest next use,
+// tie-breaking on the smaller block ID for determinism.
+func (s *Sim) furthest() layout.BlockID {
+	best := NoBlock
+	bestUse := -1
+	for b := range s.present {
+		u := s.oracle.NextUse(b)
+		if u > bestUse || (u == bestUse && (best == NoBlock || b < best)) {
+			best, bestUse = b, u
+		}
+	}
+	return best
+}
+
+// ScheduleExecutor issues the explicit ops of a schedule at their times.
+type ScheduleExecutor struct {
+	Ops  []Op
+	next int
+}
+
+// Decide implements Policy.
+func (e *ScheduleExecutor) Decide(sim *Sim) {
+	for e.next < len(e.Ops) && e.Ops[e.next].At <= sim.Now() {
+		op := e.Ops[e.next]
+		if _, err := sim.Issue(op.Fetch, op.Evict); err != nil {
+			panic(fmt.Sprintf("theory: schedule op %d: %v", e.next, err))
+		}
+		e.next++
+	}
+}
+
+// Aggressive is the multi-disk aggressive algorithm in the theoretical
+// model (batch size 1): whenever a disk is free, fetch the first missing
+// block on that disk, evicting the furthest-future block, under the
+// do-no-harm rule.
+type Aggressive struct{}
+
+// Decide implements Policy.
+func (Aggressive) Decide(sim *Sim) {
+	for {
+		issued := false
+		for d := 0; d < sim.cfg.Disks; d++ {
+			if sim.freeAt[d] > sim.t {
+				continue
+			}
+			p := sim.firstMissingOn(d)
+			if p < 0 {
+				continue
+			}
+			b := sim.refs[p]
+			victim := NoBlock
+			if sim.Used() >= sim.cfg.K {
+				victim = sim.furthest()
+				if victim == NoBlock || sim.oracle.NextUse(victim) <= p {
+					continue // do no harm
+				}
+			}
+			if _, err := sim.Issue(b, victim); err != nil {
+				panic(err)
+			}
+			issued = true
+		}
+		if !issued {
+			return
+		}
+	}
+}
+
+// firstMissingOn returns the position of the first missing block on disk
+// d at or after the cursor, or -1.
+func (s *Sim) firstMissingOn(d int) int {
+	for p := s.Cursor(); p < len(s.refs); p++ {
+		b := s.refs[p]
+		if s.present[b] || s.InFlight(b) {
+			continue
+		}
+		if s.cfg.DiskOf(b) == d {
+			return p
+		}
+	}
+	return -1
+}
+
+// FixedHorizon is the fixed-horizon algorithm in the theoretical model:
+// fetch any missing block within H references, evicting the
+// furthest-future block provided its next use is beyond the horizon.
+type FixedHorizon struct{ H int }
+
+// Decide implements Policy.
+func (f FixedHorizon) Decide(sim *Sim) {
+	c := sim.Cursor()
+	limit := c + f.H
+	if limit > len(sim.refs) {
+		limit = len(sim.refs)
+	}
+	for p := c; p < limit; p++ {
+		b := sim.refs[p]
+		if sim.present[b] || sim.InFlight(b) {
+			continue
+		}
+		victim := NoBlock
+		if sim.Used() >= sim.cfg.K {
+			victim = sim.furthest()
+			if victim == NoBlock || sim.oracle.NextUse(victim) <= c+f.H {
+				continue
+			}
+		}
+		if _, err := sim.Issue(b, victim); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the trace parser never panics and that anything it
+// accepts is valid and round-trips.
+func FuzzRead(f *testing.F) {
+	f.Add("ppctrace t true 16\nfile 4\nr 0 1.0\nr 3 0.25\nw 1 0.5\n")
+	f.Add("ppctrace x false 2\nfile 1\nr 0 0\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("ppctrace a true 10\nfile 0\n")
+	f.Add("ppctrace a true 10\nfile 2\nr 5 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid trace: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := tr.Write(&buf); werr != nil {
+			t.Fatalf("Write failed on accepted trace: %v", werr)
+		}
+		back, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip Read failed: %v", rerr)
+		}
+		if len(back.Refs) != len(tr.Refs) || len(back.Files) != len(tr.Files) {
+			t.Fatal("round trip changed the trace shape")
+		}
+	})
+}

@@ -1,0 +1,241 @@
+// Package ppcsim is a disk-accurate, trace-driven simulator of integrated
+// parallel prefetching and caching algorithms, reproducing Kimbrel et al.,
+// "A Trace-Driven Comparison of Algorithms for Parallel Prefetching and
+// Caching" (OSDI 1996).
+//
+// The library simulates a single fully-hinted process reading a traced
+// block sequence from an array of HP 97560-like disks through a shared
+// buffer cache, under one of five integrated prefetching-and-caching
+// algorithms: optimal demand fetching, fixed horizon (TIP2), multi-disk
+// aggressive, reverse aggressive, and forestall.
+//
+// Quick start:
+//
+//	tr, _ := ppcsim.NewTrace("postgres-select")
+//	res, _ := ppcsim.Run(ppcsim.Options{
+//	    Trace:     tr,
+//	    Algorithm: ppcsim.Forestall,
+//	    Disks:     4,
+//	})
+//	fmt.Println(res)
+package ppcsim
+
+import (
+	"fmt"
+
+	"ppcsim/internal/disk"
+	"ppcsim/internal/engine"
+	"ppcsim/internal/policy"
+	"ppcsim/internal/revagg"
+	"ppcsim/internal/trace"
+)
+
+// Trace is a file-access trace: a read sequence with inter-reference
+// compute times and a (file, offset) structure for data placement.
+type Trace = trace.Trace
+
+// Result holds the metrics of one simulation run, in the units of the
+// paper's appendix tables.
+type Result = engine.Result
+
+// Discipline selects the disk-head scheduling policy.
+type Discipline = disk.Discipline
+
+// DiskGeometry parameterizes a custom drive model (seek curve, rotation,
+// readahead cache); see HP97560Geometry for the paper's drive.
+type DiskGeometry = disk.Geometry
+
+// HP97560Geometry returns the parameters of the paper's HP 97560 drive.
+func HP97560Geometry() DiskGeometry { return disk.HP97560Geometry() }
+
+// HintSpec models incomplete or inaccurate application hints: each
+// reference is disclosed with probability Fraction and, if disclosed,
+// names the correct block with probability Accuracy. The paper's
+// fully-hinted case is the nil spec. See engine.HintSpec.
+type HintSpec = engine.HintSpec
+
+// Disk-head scheduling disciplines.
+const (
+	CSCAN = disk.CSCAN
+	FCFS  = disk.FCFS
+)
+
+// Algorithm names an integrated prefetching and caching policy.
+type Algorithm string
+
+// The five algorithms the paper compares.
+const (
+	// Demand fetches only on a miss but replaces optimally (offline MIN).
+	Demand Algorithm = "demand"
+	// FixedHorizon fetches missing blocks at most H references ahead
+	// (TIP2 restricted to one hinting process).
+	FixedHorizon Algorithm = "fixed-horizon"
+	// Aggressive prefetches whenever a disk is free, as early as the
+	// do-no-harm rule allows.
+	Aggressive Algorithm = "aggressive"
+	// ReverseAggressive builds a near-optimal offline schedule from the
+	// reversed request sequence and replays it.
+	ReverseAggressive Algorithm = "reverse-aggressive"
+	// Forestall prefetches just early enough to forestall predicted
+	// stalls (the paper's new hybrid algorithm).
+	Forestall Algorithm = "forestall"
+	// DemandLRU is demand fetching with least-recently-used replacement —
+	// a conventional hint-less buffer cache. Not part of the paper's
+	// comparison; it isolates the value of better-than-LRU replacement.
+	DemandLRU Algorithm = "demand-lru"
+)
+
+// Algorithms lists the paper's five algorithms in its order, plus the
+// demand-LRU extension baseline.
+var Algorithms = []Algorithm{Demand, FixedHorizon, Aggressive, ReverseAggressive, Forestall, DemandLRU}
+
+// TraceNames lists the bundled traces in Table 3 order.
+var TraceNames = trace.Names
+
+// NewTrace generates one of the bundled traces by name (see TraceNames).
+func NewTrace(name string) (*Trace, error) { return trace.ByName(name) }
+
+// AllTraces generates every bundled trace.
+func AllTraces() []*Trace { return trace.All() }
+
+// Options configures one simulation run. Zero values select the paper's
+// defaults.
+type Options struct {
+	// Trace to run; see NewTrace. Required.
+	Trace *Trace
+	// Algorithm to simulate. Required.
+	Algorithm Algorithm
+	// Disks is the array size (default 1).
+	Disks int
+	// CacheBlocks overrides the trace's default cache size.
+	CacheBlocks int
+	// Scheduler is the disk-head scheduling discipline (default CSCAN).
+	Scheduler Discipline
+	// BatchSize overrides aggressive's/forestall's/reverse aggressive's
+	// batch size (default: the paper's Table 6 value for the array size).
+	BatchSize int
+	// Horizon overrides fixed horizon's prefetch horizon H (default 62).
+	Horizon int
+	// FetchEstimate is reverse aggressive's fixed fetch-time/compute-time
+	// ratio F (default 32).
+	FetchEstimate float64
+	// ForestallFixedF, when positive, replaces forestall's dynamic F
+	// estimation with this fixed value.
+	ForestallFixedF float64
+	// DriverOverheadMs is the per-request driver CPU cost (default
+	// 0.5 ms; negative for zero).
+	DriverOverheadMs float64
+	// SimpleDiskModel swaps the HP 97560 model for a fixed-latency model
+	// (used for simulator cross-validation).
+	SimpleDiskModel bool
+	// DiskGeometry, when non-nil, simulates a custom drive instead of the
+	// HP 97560. Takes precedence over SimpleDiskModel.
+	DiskGeometry *DiskGeometry
+	// PlacementSeed varies the per-file random placement.
+	PlacementSeed int64
+	// Hints degrades the advance knowledge the policy receives (nil =
+	// fully hinted, the paper's setting). Reverse aggressive is offline
+	// and requires full hints; combining it with a HintSpec is an error.
+	Hints *HintSpec
+}
+
+// NewPolicy constructs the named algorithm with the given options.
+func NewPolicy(opts Options) (engine.Policy, error) {
+	switch opts.Algorithm {
+	case Demand:
+		return policy.NewDemand(), nil
+	case DemandLRU:
+		return policy.NewDemandLRU(), nil
+	case FixedHorizon:
+		return policy.NewFixedHorizon(opts.Horizon), nil
+	case Aggressive:
+		return policy.NewAggressive(opts.BatchSize), nil
+	case ReverseAggressive:
+		return revagg.New(opts.FetchEstimate, opts.BatchSize), nil
+	case Forestall:
+		f := policy.NewForestall()
+		f.BatchSize = opts.BatchSize
+		f.Horizon = opts.Horizon
+		f.FixedF = opts.ForestallFixedF
+		return f, nil
+	default:
+		return nil, fmt.Errorf("ppcsim: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(opts Options) (Result, error) {
+	if opts.Trace == nil {
+		return Result{}, fmt.Errorf("ppcsim: Options.Trace is required")
+	}
+	if opts.Hints != nil && opts.Algorithm == ReverseAggressive {
+		return Result{}, fmt.Errorf("ppcsim: reverse aggressive is offline and requires full hints")
+	}
+	pol, err := NewPolicy(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	disks := opts.Disks
+	if disks == 0 {
+		disks = 1
+	}
+	cfg := engine.Config{
+		Trace:            opts.Trace,
+		Policy:           pol,
+		Disks:            disks,
+		CacheBlocks:      opts.CacheBlocks,
+		Discipline:       opts.Scheduler,
+		DriverOverheadMs: opts.DriverOverheadMs,
+		PlacementSeed:    opts.PlacementSeed,
+		Hints:            opts.Hints,
+	}
+	if opts.SimpleDiskModel {
+		cfg.Model = func() disk.Model { return disk.NewSimple() }
+	}
+	if opts.DiskGeometry != nil {
+		g := *opts.DiskGeometry
+		if err := g.Validate(); err != nil {
+			return Result{}, err
+		}
+		cfg.Model = func() disk.Model {
+			m, merr := disk.NewParametric(g)
+			if merr != nil {
+				panic(merr) // validated above
+			}
+			return m
+		}
+	}
+	return engine.Run(cfg)
+}
+
+// RunBestReverseAggressive runs reverse aggressive over a grid of fetch
+// estimates and batch sizes and returns the best-elapsed-time result, the
+// way the paper's baseline tables choose reverse aggressive's parameters
+// ("chosen to minimize its elapsed time"). Empty grids select the
+// appendix-F sweep values.
+func RunBestReverseAggressive(opts Options, estimates []float64, batches []int) (Result, error) {
+	if len(estimates) == 0 {
+		estimates = []float64{2, 3, 4, 8, 16, 32, 64, 128}
+	}
+	if len(batches) == 0 {
+		batches = []int{4, 8, 16, 40, 80, 160}
+	}
+	opts.Algorithm = ReverseAggressive
+	var best Result
+	found := false
+	for _, f := range estimates {
+		for _, b := range batches {
+			o := opts
+			o.FetchEstimate = f
+			o.BatchSize = b
+			r, err := Run(o)
+			if err != nil {
+				return Result{}, err
+			}
+			if !found || r.ElapsedSec < best.ElapsedSec {
+				best, found = r, true
+			}
+		}
+	}
+	return best, nil
+}

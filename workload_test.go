@@ -1,0 +1,161 @@
+package ppcsim_test
+
+import (
+	"testing"
+
+	"ppcsim"
+)
+
+func TestTraceBuilderBasic(t *testing.T) {
+	b := ppcsim.NewTraceBuilder("custom")
+	f := b.AddFile(100)
+	b.ComputeFixed(2.0).Loop(f, 3)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Reads != 300 || st.DistinctBlocks != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ComputeSec != 0.6 {
+		t.Errorf("compute %g, want 0.6", st.ComputeSec)
+	}
+	r, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: ppcsim.Forestall, Disks: 2, CacheBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHits+r.CacheMisses != 300 {
+		t.Error("not every reference served")
+	}
+}
+
+func TestTraceBuilderPatterns(t *testing.T) {
+	b := ppcsim.NewTraceBuilder("patterns").Seed(9)
+	idx := b.AddFile(16)
+	dat := b.AddFile(512)
+	b.ComputeUniform(0.5, 1.5)
+	b.Sequential(idx, 0, 16)
+	b.RandomUniform(dat, 50)
+	b.Zipf(dat, 50, 1.5)
+	b.Strided(dat, 3, 37, 40)
+	b.ComputeExp(1.0)
+	b.Ref(idx, 5, 4.0)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 157 || len(tr.Refs) != 157 {
+		t.Fatalf("refs = %d, want 157", len(tr.Refs))
+	}
+	// Blocks must stay within their files: idx is [0,16), dat [16,528).
+	for i, r := range tr.Refs {
+		if int(r.Block) < 0 || int(r.Block) >= 528 {
+			t.Fatalf("ref %d block %d out of space", i, r.Block)
+		}
+	}
+	// The explicit Ref has the explicit compute time.
+	if tr.Refs[156].ComputeMs != 4.0 || tr.Refs[156].Block != 5 {
+		t.Errorf("explicit ref wrong: %+v", tr.Refs[156])
+	}
+}
+
+func TestTraceBuilderDeterministicWithSeed(t *testing.T) {
+	mk := func() *ppcsim.Trace {
+		b := ppcsim.NewTraceBuilder("det").Seed(123)
+		f := b.AddFile(64)
+		b.ComputeExp(1).RandomUniform(f, 200)
+		tr, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, c := mk(), mk()
+	for i := range a.Refs {
+		if a.Refs[i] != c.Refs[i] {
+			t.Fatal("builder not deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestTraceBuilderErrors(t *testing.T) {
+	cases := []func(*ppcsim.TraceBuilder){
+		func(b *ppcsim.TraceBuilder) { b.AddFile(0) },
+		func(b *ppcsim.TraceBuilder) { b.Sequential(ppcsim.FileID(5), 0, 1) },
+		func(b *ppcsim.TraceBuilder) { f := b.AddFile(4); b.Sequential(f, 9, 1) },
+		func(b *ppcsim.TraceBuilder) { f := b.AddFile(4); b.Strided(f, 0, 0, 1) },
+		func(b *ppcsim.TraceBuilder) { f := b.AddFile(4); b.Zipf(f, 1, 0.5) },
+		func(b *ppcsim.TraceBuilder) { b.ComputeFixed(-1) },
+		func(b *ppcsim.TraceBuilder) { b.ComputeUniform(3, 1) },
+		func(b *ppcsim.TraceBuilder) { b.ComputeExp(0) },
+		func(b *ppcsim.TraceBuilder) { f := b.AddFile(4); b.Ref(f, 0, -2) },
+		func(b *ppcsim.TraceBuilder) { f := b.AddFile(4); b.Ref(f, 7, 1) },
+		func(b *ppcsim.TraceBuilder) {}, // no refs at all
+	}
+	for i, mutate := range cases {
+		b := ppcsim.NewTraceBuilder("bad")
+		mutate(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: expected Build error", i)
+		}
+	}
+}
+
+func TestTraceBuilderFirstErrorWins(t *testing.T) {
+	b := ppcsim.NewTraceBuilder("bad")
+	b.Sequential(ppcsim.FileID(0), 0, 1) // no files yet
+	f := b.AddFile(8)
+	b.Loop(f, 1) // would be fine, but the builder already failed
+	if _, err := b.Build(); err == nil {
+		t.Error("expected the first error to stick")
+	}
+}
+
+func TestTraceBuilderZipfSkew(t *testing.T) {
+	b := ppcsim.NewTraceBuilder("zipf").Seed(4)
+	f := b.AddFile(1000)
+	b.Zipf(f, 5000, 2.0)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := 0
+	for _, r := range tr.Refs {
+		if int(r.Block) < 10 {
+			head++
+		}
+	}
+	if head < len(tr.Refs)/2 {
+		t.Errorf("zipf(2.0): only %d/%d references in the 10 hottest blocks", head, len(tr.Refs))
+	}
+}
+
+func TestTraceBuilderStridedWraps(t *testing.T) {
+	b := ppcsim.NewTraceBuilder("wrap")
+	f := b.AddFile(10)
+	b.Strided(f, 8, 3, 5) // 8, 11->1, 4, 7, 10->0
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 1, 4, 7, 0}
+	for i, w := range want {
+		if int(tr.Refs[i].Block) != w {
+			t.Fatalf("strided ref %d = %d, want %d", i, tr.Refs[i].Block, w)
+		}
+	}
+	// Negative strides also wrap.
+	b2 := ppcsim.NewTraceBuilder("wrap2")
+	f2 := b2.AddFile(10)
+	b2.Strided(f2, 1, -4, 3) // 1, -3->7, -7->3
+	tr2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []int{1, 7, 3} {
+		if int(tr2.Refs[i].Block) != w {
+			t.Fatalf("negative stride ref %d = %d, want %d", i, tr2.Refs[i].Block, w)
+		}
+	}
+}
