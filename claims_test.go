@@ -118,8 +118,8 @@ func TestClaimReverseAggressiveCloseToBest(t *testing.T) {
 	for _, name := range []string{"cscope1", "postgres-select"} {
 		tr := claimTrace(t, name)
 		for _, d := range []int{1, 4} {
-			ra, err := ppcsim.RunBestReverseAggressive(ppcsim.Options{Trace: tr, Disks: d},
-				[]float64{2, 4, 16, 64}, []int{8, 40, 160})
+			ra, _, err := ppcsim.RunBestReverseAggressive(ppcsim.Options{Trace: tr, Disks: d},
+				ppcsim.ReverseAggressiveGrid{Estimates: []float64{2, 4, 16, 64}, Batches: []int{8, 40, 160}})
 			if err != nil {
 				t.Fatal(err)
 			}

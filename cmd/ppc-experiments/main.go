@@ -13,17 +13,32 @@ import (
 	"os"
 	"strings"
 
+	"ppcsim"
 	"ppcsim/internal/experiments"
 )
 
 func main() {
 	var (
-		runIDs = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		quick  = flag.Bool("quick", false, "truncate traces and shrink grids for a fast pass")
-		svgDir = flag.String("svg", "", "also write figures as SVG files into this directory")
+		runIDs   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "truncate traces and shrink grids for a fast pass")
+		svgDir   = flag.String("svg", "", "also write figures as SVG files into this directory")
+		algNames = flag.String("algs", "", "restrict appendix baselines to these comma-separated algorithms")
 	)
 	flag.Parse()
+
+	var algs []ppcsim.Algorithm
+	for _, name := range strings.Split(*algNames, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		a, err := ppcsim.ParseAlgorithm(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		algs = append(algs, a)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -37,7 +52,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	o := &experiments.Options{Out: os.Stdout, Quick: *quick, SVGDir: *svgDir}
+	o := &experiments.Options{Out: os.Stdout, Quick: *quick, SVGDir: *svgDir, Algs: algs}
 	if *runIDs == "all" {
 		if err := experiments.RunAll(o); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -5,6 +5,7 @@
 //
 //	ppc-sim -trace postgres-select -alg forestall -disks 4
 //	ppc-sim -trace synth -alg aggressive -disks 3 -batch 40 -sched fcfs
+//	ppc-sim -trace cscope1 -alg forestall -disks 2 -events trace.json -series series.csv
 package main
 
 import (
@@ -31,22 +32,37 @@ func main() {
 		seed      = flag.Int64("seed", 0, "data placement seed")
 		cpuScale  = flag.Float64("cpu-scale", 1, "scale all compute times (0.5 = double-speed CPU)")
 		perDisk   = flag.Bool("per-disk", false, "print a per-disk breakdown")
+		events    = flag.String("events", "", "write Chrome trace-event JSON to this file (view in chrome://tracing or ui.perfetto.dev)")
+		series    = flag.String("series", "", "write per-disk time-series CSV (queue depth, utilization, cache occupancy, stalls) to this file")
 	)
 	flag.Parse()
 
-	tr, err := ppcsim.NewTrace(*traceName)
-	if err != nil {
+	die := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	tr, err := ppcsim.NewTrace(*traceName)
+	if err != nil {
+		die(err)
 	}
 	if *cpuScale != 1 {
 		tr = tr.ScaleCompute(*cpuScale)
 	}
+	algorithm, err := ppcsim.ParseAlgorithm(*alg)
+	if err != nil {
+		die(err)
+	}
+	discipline, err := ppcsim.ParseDiscipline(*sched)
+	if err != nil {
+		die(err)
+	}
 	opts := ppcsim.Options{
 		Trace:            tr,
-		Algorithm:        ppcsim.Algorithm(*alg),
+		Algorithm:        algorithm,
 		Disks:            *disks,
 		CacheBlocks:      *cacheBlk,
+		Scheduler:        discipline,
 		BatchSize:        *batch,
 		Horizon:          *horizon,
 		FetchEstimate:    *festimate,
@@ -55,19 +71,41 @@ func main() {
 		SimpleDiskModel:  *simple,
 		PlacementSeed:    *seed,
 	}
-	switch *sched {
-	case "cscan":
-		opts.Scheduler = ppcsim.CSCAN
-	case "fcfs":
-		opts.Scheduler = ppcsim.FCFS
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q (want cscan or fcfs)\n", *sched)
-		os.Exit(1)
+
+	// Attach observers only when an export was requested, so the default
+	// invocation keeps the unobserved fast path. Output files are opened
+	// up front so a bad path fails before the simulation, not after.
+	var (
+		tracer   *ppcsim.ChromeTracer
+		recorder *ppcsim.Recorder
+		stats    *ppcsim.StreamingStats
+		eventsF  *os.File
+		seriesF  *os.File
+	)
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			die(err)
+		}
+		eventsF = f
+		tracer = ppcsim.NewChromeTracer()
 	}
+	if *series != "" {
+		f, err := os.Create(*series)
+		if err != nil {
+			die(err)
+		}
+		seriesF = f
+		recorder = ppcsim.NewRecorder()
+	}
+	if tracer != nil || recorder != nil {
+		stats = ppcsim.NewStreamingStats()
+		opts.Observer = ppcsim.Tee(tracer, recorder, stats)
+	}
+
 	res, err := ppcsim.Run(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(err)
 	}
 	fmt.Println(res)
 	fmt.Printf("  fetches:            %d\n", res.Fetches)
@@ -78,10 +116,36 @@ func main() {
 	fmt.Printf("  avg fetch (msec):   %.3f\n", res.AvgFetchMs)
 	fmt.Printf("  avg response (ms):  %.3f\n", res.AvgResponseMs)
 	fmt.Printf("  avg disk util:      %.2f\n", res.AvgUtilization)
+	if res.Latency != nil {
+		l := res.Latency
+		fmt.Printf("  fetch latency (ms): p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",
+			l.FetchP50Ms, l.FetchP95Ms, l.FetchP99Ms, l.FetchCount)
+		fmt.Printf("  stall length (ms):  p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",
+			l.StallP50Ms, l.StallP95Ms, l.StallP99Ms, l.StallCount)
+	}
 	if *perDisk {
 		for i, d := range res.PerDisk {
 			fmt.Printf("  disk %2d: fetches %6d  busy %8.3fs  svc %7.3fms  resp %7.3fms  util %.2f\n",
 				i, d.Fetches, d.BusySec, d.AvgFetchMs, d.AvgRespMs, d.Utilization)
 		}
+	}
+
+	if tracer != nil {
+		if _, err := tracer.WriteTo(eventsF); err != nil {
+			die(err)
+		}
+		if err := eventsF.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("  wrote trace events: %s\n", *events)
+	}
+	if recorder != nil {
+		if err := recorder.WriteCSV(seriesF); err != nil {
+			die(err)
+		}
+		if err := seriesF.Close(); err != nil {
+			die(err)
+		}
+		fmt.Printf("  wrote time series:  %s\n", *series)
 	}
 }

@@ -1,19 +1,26 @@
 // Command ppc-sweep runs a cross-product of configurations and emits one
-// CSV row per run, for plotting or regression tracking.
+// CSV row per run, for plotting or regression tracking. Runs execute on a
+// worker pool (-parallel, default one worker per CPU); rows are written
+// in configuration order regardless of worker count, so the output is
+// byte-identical for any -parallel value.
 //
 // Usage:
 //
 //	ppc-sweep -traces synth,ld -algs fixed-horizon,aggressive -disks 1,2,4
 //	ppc-sweep -traces all -algs forestall -disks 1,4 -scheds cscan,fcfs -o out.csv
+//	ppc-sweep -traces all -algs all -parallel 8
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ppcsim"
 )
@@ -41,10 +48,148 @@ func splitInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// job is one grid point of the sweep.
+type job struct {
+	traceName string
+	trace     *ppcsim.Trace
+	alg       ppcsim.Algorithm
+	disks     int
+	sched     ppcsim.Discipline
+	cache     int
+	batch     int
+	horizon   int
+}
+
+// sweepSpec is the parsed cross-product.
+type sweepSpec struct {
+	traces   []string
+	algs     []ppcsim.Algorithm
+	disks    []int
+	scheds   []ppcsim.Discipline
+	caches   []int
+	batches  []int
+	horizons []int
+	hintFrac float64
+	hintAcc  float64
+}
+
+// jobs expands the spec into the ordered job list (trace-major, matching
+// the CSV row order).
+func (sp sweepSpec) jobs() ([]job, error) {
+	var out []job
+	for _, tn := range sp.traces {
+		tr, err := ppcsim.NewTrace(tn)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range sp.algs {
+			for _, d := range sp.disks {
+				for _, sched := range sp.scheds {
+					for _, k := range sp.caches {
+						for _, b := range sp.batches {
+							for _, h := range sp.horizons {
+								out = append(out, job{
+									traceName: tn, trace: tr, alg: alg, disks: d,
+									sched: sched, cache: k, batch: b, horizon: h,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// runSweep executes every job on `parallel` workers and writes the CSV in
+// job order. A run that shares a *Trace with other workers is safe: the
+// simulator treats the trace as read-only.
+func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
+	jobs, err := sp.jobs()
+	if err != nil {
+		return err
+	}
+	var hints *ppcsim.HintSpec
+	if sp.hintFrac != 1 || sp.hintAcc != 1 {
+		hints = &ppcsim.HintSpec{Fraction: sp.hintFrac, Accuracy: sp.hintAcc}
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(jobs) && len(jobs) > 0 {
+		parallel = len(jobs)
+	}
+
+	results := make([]ppcsim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				j := jobs[idx]
+				results[idx], errs[idx] = ppcsim.Run(ppcsim.Options{
+					Trace:       j.trace,
+					Algorithm:   j.alg,
+					Disks:       j.disks,
+					Scheduler:   j.sched,
+					CacheBlocks: j.cache,
+					BatchSize:   j.batch,
+					Horizon:     j.horizon,
+					Hints:       hints,
+				})
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"trace", "algorithm", "disks", "scheduler", "cache_blocks", "batch", "horizon",
+		"hint_fraction", "hint_accuracy",
+		"elapsed_sec", "compute_sec", "driver_sec", "stall_sec",
+		"fetches", "avg_fetch_ms", "avg_response_ms", "avg_utilization",
+	}); err != nil {
+		return err
+	}
+	for idx, j := range jobs {
+		if errs[idx] != nil {
+			cw.Flush()
+			return fmt.Errorf("%s/%s/d=%d: %w", j.traceName, j.alg, j.disks, errs[idx])
+		}
+		r := results[idx]
+		rec := []string{
+			j.traceName, string(j.alg), strconv.Itoa(j.disks), j.sched.String(),
+			strconv.Itoa(j.cache), strconv.Itoa(j.batch), strconv.Itoa(j.horizon),
+			fmt.Sprintf("%g", sp.hintFrac), fmt.Sprintf("%g", sp.hintAcc),
+			fmt.Sprintf("%.4f", r.ElapsedSec),
+			fmt.Sprintf("%.4f", r.ComputeSec),
+			fmt.Sprintf("%.4f", r.DriverTimeSec),
+			fmt.Sprintf("%.4f", r.StallTimeSec),
+			strconv.FormatInt(r.Fetches, 10),
+			fmt.Sprintf("%.3f", r.AvgFetchMs),
+			fmt.Sprintf("%.3f", r.AvgResponseMs),
+			fmt.Sprintf("%.3f", r.AvgUtilization),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 func main() {
 	var (
 		traces   = flag.String("traces", "synth", "comma-separated trace names, or 'all'")
-		algs     = flag.String("algs", "fixed-horizon,aggressive,forestall", "comma-separated algorithms")
+		algs     = flag.String("algs", "fixed-horizon,aggressive,forestall", "comma-separated algorithms, or 'all'")
 		disks    = flag.String("disks", "1,2,4", "comma-separated array sizes")
 		scheds   = flag.String("scheds", "cscan", "comma-separated schedulers: cscan,fcfs")
 		caches   = flag.String("caches", "0", "comma-separated cache sizes (0 = trace default)")
@@ -52,6 +197,7 @@ func main() {
 		horizons = flag.String("horizons", "0", "comma-separated horizons (0 = 62)")
 		hintFrac = flag.Float64("hint-fraction", 1, "fraction of references disclosed")
 		hintAcc  = flag.Float64("hint-accuracy", 1, "accuracy of disclosed hints")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "number of concurrent simulations")
 		out      = flag.String("o", "", "output CSV file (default stdout)")
 	)
 	flag.Parse()
@@ -61,36 +207,42 @@ func main() {
 		os.Exit(1)
 	}
 
-	traceNames := splitList(*traces)
-	if len(traceNames) == 1 && traceNames[0] == "all" {
-		traceNames = ppcsim.TraceNames
+	sp := sweepSpec{hintFrac: *hintFrac, hintAcc: *hintAcc}
+	sp.traces = splitList(*traces)
+	if len(sp.traces) == 1 && sp.traces[0] == "all" {
+		sp.traces = ppcsim.TraceNames
 	}
-	diskList, err := splitInts(*disks)
-	if err != nil {
-		die(err)
-	}
-	cacheList, err := splitInts(*caches)
-	if err != nil {
-		die(err)
-	}
-	batchList, err := splitInts(*batches)
-	if err != nil {
-		die(err)
-	}
-	horizonList, err := splitInts(*horizons)
-	if err != nil {
-		die(err)
-	}
-	var schedList []ppcsim.Discipline
-	for _, s := range splitList(*scheds) {
-		switch s {
-		case "cscan":
-			schedList = append(schedList, ppcsim.CSCAN)
-		case "fcfs":
-			schedList = append(schedList, ppcsim.FCFS)
-		default:
-			die(fmt.Errorf("unknown scheduler %q", s))
+	algNames := splitList(*algs)
+	if len(algNames) == 1 && algNames[0] == "all" {
+		sp.algs = ppcsim.Algorithms
+	} else {
+		for _, name := range algNames {
+			a, err := ppcsim.ParseAlgorithm(name)
+			if err != nil {
+				die(err)
+			}
+			sp.algs = append(sp.algs, a)
 		}
+	}
+	var err error
+	if sp.disks, err = splitInts(*disks); err != nil {
+		die(err)
+	}
+	if sp.caches, err = splitInts(*caches); err != nil {
+		die(err)
+	}
+	if sp.batches, err = splitInts(*batches); err != nil {
+		die(err)
+	}
+	if sp.horizons, err = splitInts(*horizons); err != nil {
+		die(err)
+	}
+	for _, s := range splitList(*scheds) {
+		d, err := ppcsim.ParseDiscipline(s)
+		if err != nil {
+			die(err)
+		}
+		sp.scheds = append(sp.scheds, d)
 	}
 
 	w := os.Stdout
@@ -102,67 +254,7 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	cw := csv.NewWriter(w)
-	defer cw.Flush()
-	if err := cw.Write([]string{
-		"trace", "algorithm", "disks", "scheduler", "cache_blocks", "batch", "horizon",
-		"hint_fraction", "hint_accuracy",
-		"elapsed_sec", "compute_sec", "driver_sec", "stall_sec",
-		"fetches", "avg_fetch_ms", "avg_response_ms", "avg_utilization",
-	}); err != nil {
+	if err := runSweep(sp, *parallel, w); err != nil {
 		die(err)
-	}
-
-	var hints *ppcsim.HintSpec
-	if *hintFrac != 1 || *hintAcc != 1 {
-		hints = &ppcsim.HintSpec{Fraction: *hintFrac, Accuracy: *hintAcc}
-	}
-
-	for _, tn := range traceNames {
-		tr, err := ppcsim.NewTrace(tn)
-		if err != nil {
-			die(err)
-		}
-		for _, alg := range splitList(*algs) {
-			for _, d := range diskList {
-				for _, sched := range schedList {
-					for _, k := range cacheList {
-						for _, b := range batchList {
-							for _, h := range horizonList {
-								r, err := ppcsim.Run(ppcsim.Options{
-									Trace:       tr,
-									Algorithm:   ppcsim.Algorithm(alg),
-									Disks:       d,
-									Scheduler:   sched,
-									CacheBlocks: k,
-									BatchSize:   b,
-									Horizon:     h,
-									Hints:       hints,
-								})
-								if err != nil {
-									die(fmt.Errorf("%s/%s/d=%d: %w", tn, alg, d, err))
-								}
-								rec := []string{
-									tn, alg, strconv.Itoa(d), sched.String(),
-									strconv.Itoa(k), strconv.Itoa(b), strconv.Itoa(h),
-									fmt.Sprintf("%g", *hintFrac), fmt.Sprintf("%g", *hintAcc),
-									fmt.Sprintf("%.4f", r.ElapsedSec),
-									fmt.Sprintf("%.4f", r.ComputeSec),
-									fmt.Sprintf("%.4f", r.DriverTimeSec),
-									fmt.Sprintf("%.4f", r.StallTimeSec),
-									strconv.FormatInt(r.Fetches, 10),
-									fmt.Sprintf("%.3f", r.AvgFetchMs),
-									fmt.Sprintf("%.3f", r.AvgResponseMs),
-									fmt.Sprintf("%.3f", r.AvgUtilization),
-								}
-								if err := cw.Write(rec); err != nil {
-									die(err)
-								}
-							}
-						}
-					}
-				}
-			}
-		}
 	}
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppcsim"
+)
+
+// TestParallelSweepDeterministic: the CSV must be byte-identical no
+// matter how many workers run the sweep.
+func TestParallelSweepDeterministic(t *testing.T) {
+	sp := sweepSpec{
+		traces:   []string{"synth", "xds"},
+		algs:     []ppcsim.Algorithm{ppcsim.Demand, ppcsim.Forestall, ppcsim.Aggressive},
+		disks:    []int{1, 3},
+		scheds:   []ppcsim.Discipline{ppcsim.CSCAN, ppcsim.FCFS},
+		caches:   []int{0},
+		batches:  []int{0, 16},
+		horizons: []int{0},
+		hintFrac: 1,
+		hintAcc:  1,
+	}
+	var serial bytes.Buffer
+	if err := runSweep(sp, 1, &serial); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(sp.traces)*len(sp.algs)*len(sp.disks)*len(sp.scheds)*len(sp.caches)*len(sp.batches)*len(sp.horizons) + 1
+	if got := strings.Count(serial.String(), "\n"); got != wantRows {
+		t.Fatalf("serial sweep wrote %d rows, want %d", got, wantRows)
+	}
+	for _, parallel := range []int{2, 8} {
+		var par bytes.Buffer
+		if err := runSweep(sp, parallel, &par); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Errorf("-parallel %d output differs from -parallel 1", parallel)
+		}
+	}
+}
+
+// TestSweepReportsConfigErrors: a bad grid point surfaces the offending
+// configuration instead of a bare error.
+func TestSweepReportsConfigErrors(t *testing.T) {
+	sp := sweepSpec{
+		traces:   []string{"synth"},
+		algs:     []ppcsim.Algorithm{ppcsim.Demand},
+		disks:    []int{-1},
+		scheds:   []ppcsim.Discipline{ppcsim.CSCAN},
+		caches:   []int{0},
+		batches:  []int{0},
+		horizons: []int{0},
+		hintFrac: 1,
+		hintAcc:  1,
+	}
+	var buf bytes.Buffer
+	err := runSweep(sp, 4, &buf)
+	if err == nil {
+		t.Fatal("negative disk count should fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "synth/demand/d=-1") {
+		t.Errorf("error %q does not name the failing configuration", err)
+	}
+}

@@ -47,6 +47,36 @@ func ExampleTraceBuilder() {
 	// reads: 1200, compute: 2.4s
 }
 
+// Watching a run through the observability layer: a Recorder for the
+// reconciled time decomposition and a StreamingStats for latency
+// percentiles, fanned out with Tee.
+func ExampleRun_observer() {
+	tr, err := ppcsim.NewTrace("synth")
+	if err != nil {
+		panic(err)
+	}
+	rec := ppcsim.NewRecorder()
+	stats := ppcsim.NewStreamingStats()
+	res, err := ppcsim.Run(ppcsim.Options{
+		Trace:     tr.Truncate(10000),
+		Algorithm: ppcsim.Forestall,
+		Disks:     2,
+		Observer:  ppcsim.Tee(rec, stats),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("stall intervals: %d\n", len(rec.Stalls))
+	fmt.Printf("event stall == result stall: %v\n",
+		rec.StallTimeSec()-res.StallTimeSec < 1e-9)
+	fmt.Printf("latency percentiles ordered: %v\n",
+		res.Latency.FetchP50Ms <= res.Latency.FetchP99Ms)
+	// Output:
+	// stall intervals: 364
+	// event stall == result stall: true
+	// latency percentiles ordered: true
+}
+
 // Comparing algorithms the way the paper's figures do.
 func ExampleRun_comparison() {
 	tr, err := ppcsim.NewTrace("postgres-select")

@@ -30,9 +30,9 @@ func main() {
 			if alg == ppcsim.ReverseAggressive {
 				// The paper picks reverse aggressive's fetch-time estimate
 				// and batch size to minimize elapsed time; use a small grid.
-				res, err = ppcsim.RunBestReverseAggressive(
+				res, _, err = ppcsim.RunBestReverseAggressive(
 					ppcsim.Options{Trace: tr, Disks: disks},
-					[]float64{2, 4, 16}, []int{16, 80})
+					ppcsim.ReverseAggressiveGrid{Estimates: []float64{2, 4, 16}, Batches: []int{16, 80}})
 			} else {
 				res, err = ppcsim.Run(ppcsim.Options{
 					Trace:     tr,

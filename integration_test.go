@@ -171,11 +171,13 @@ func TestCustomDiskGeometry(t *testing.T) {
 // TestRunBestReverseAggressive picks the best grid point.
 func TestRunBestReverseAggressive(t *testing.T) {
 	tr := truncated(t, "cscope1", 3000)
-	best, err := ppcsim.RunBestReverseAggressive(
-		ppcsim.Options{Trace: tr, Disks: 2}, []float64{4, 32}, []int{8, 40})
+	best, choice, err := ppcsim.RunBestReverseAggressive(
+		ppcsim.Options{Trace: tr, Disks: 2},
+		ppcsim.ReverseAggressiveGrid{Estimates: []float64{4, 32}, Batches: []int{8, 40}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	var seenChoice bool
 	for _, f := range []float64{4, 32} {
 		for _, b := range []int{8, 40} {
 			r, err := ppcsim.Run(ppcsim.Options{
@@ -188,7 +190,16 @@ func TestRunBestReverseAggressive(t *testing.T) {
 			if r.ElapsedSec < best.ElapsedSec-1e-9 {
 				t.Errorf("grid point F=%g b=%d (%g) beats reported best (%g)", f, b, r.ElapsedSec, best.ElapsedSec)
 			}
+			if choice.FetchEstimate == f && choice.BatchSize == b {
+				seenChoice = true
+				if r.ElapsedSec != best.ElapsedSec {
+					t.Errorf("winning choice F=%g b=%d reruns to %g, reported best %g", f, b, r.ElapsedSec, best.ElapsedSec)
+				}
+			}
 		}
+	}
+	if !seenChoice {
+		t.Errorf("reported choice %+v is not a grid point", choice)
 	}
 }
 

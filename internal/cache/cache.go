@@ -38,6 +38,13 @@ type Cache struct {
 
 	h evictHeap
 
+	// OnEvict, if set, is invoked whenever a present block leaves the
+	// cache — replaced by a fetch (replacement is the incoming block) or
+	// dropped (replacement is NoBlock) — with the victim's next-use
+	// position from the oracle (future.Never if it is never referenced
+	// again). The engine uses it to emit eviction observability events.
+	OnEvict func(victim, replacement layout.BlockID, nextUse int)
+
 	// Statistics.
 	hits, misses int64
 }
@@ -123,6 +130,9 @@ func (c *Cache) StartFetch(b, victim layout.BlockID) error {
 		}
 		c.st[victim] = absent
 		// The heap entry for victim becomes stale and is discarded lazily.
+		if c.OnEvict != nil {
+			c.OnEvict(victim, b, c.oracle.NextUse(victim))
+		}
 	}
 	c.st[b] = inFlight
 	return nil
@@ -146,6 +156,9 @@ func (c *Cache) Drop(b layout.BlockID) error {
 	}
 	c.st[b] = absent
 	c.used--
+	if c.OnEvict != nil {
+		c.OnEvict(b, NoBlock, c.oracle.NextUse(b))
+	}
 	return nil
 }
 

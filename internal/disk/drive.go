@@ -49,7 +49,16 @@ type Request struct {
 // a single drive are serialized; the engine runs one Drive per array slot.
 type Drive struct {
 	model      Model
+	breakdown  BreakdownModel // model, when it can decompose service times
 	discipline Discipline
+
+	// OnStart, if set, is invoked as each request enters service with the
+	// decomposition of its service time (the whole service time is
+	// reported as transfer when the model cannot decompose). The engine
+	// uses it to emit fetch-started observability events. The breakdown is
+	// passed by value rather than stored on Request so the unobserved fast
+	// path keeps the smaller request allocation.
+	OnStart func(r *Request, b Breakdown, now float64)
 
 	queue   []*Request
 	current *Request
@@ -66,7 +75,8 @@ type Drive struct {
 
 // NewDrive returns an idle drive using the given model and discipline.
 func NewDrive(model Model, d Discipline) *Drive {
-	return &Drive{model: model, discipline: d}
+	bm, _ := model.(BreakdownModel)
+	return &Drive{model: model, breakdown: bm, discipline: d}
 }
 
 // Reset returns the drive to its initial idle state and clears statistics.
@@ -81,6 +91,16 @@ func (dr *Drive) Reset() {
 	dr.completed = 0
 	dr.totalService = 0
 	dr.totalResponse = 0
+}
+
+// EnableBreakdown turns on per-request service-time decomposition in the
+// underlying model (when it supports it). The engine calls this when an
+// observer is installed; recording is off otherwise so the hot path skips
+// the extra stores.
+func (dr *Drive) EnableBreakdown() {
+	if dr.breakdown != nil {
+		dr.breakdown.RecordBreakdown(true)
+	}
 }
 
 // Busy reports whether a request is in service.
@@ -166,6 +186,15 @@ func (dr *Drive) startNext(now float64) {
 	dr.headLBN = r.LBN
 	dr.busyTime += svc
 	dr.totalService += svc
+	if dr.OnStart != nil {
+		var b Breakdown
+		if dr.breakdown != nil {
+			b = dr.breakdown.LastBreakdown()
+		} else {
+			b.TransferMs = svc
+		}
+		dr.OnStart(r, b, now)
+	}
 }
 
 // Complete finishes the in-service request (the caller must have advanced

@@ -50,6 +50,28 @@ type Model interface {
 	Reset()
 }
 
+// Breakdown decomposes one service time into its physical components.
+// The components sum to the service time.
+type Breakdown struct {
+	SeekMs     float64
+	RotationMs float64
+	TransferMs float64
+}
+
+// BreakdownModel is implemented by models that can decompose their most
+// recent Service result. Drives expose the decomposition on each Request
+// for observability; models that cannot decompose report the whole
+// service time as transfer.
+type BreakdownModel interface {
+	Model
+	// LastBreakdown returns the decomposition of the last Service call.
+	// It is meaningful only after RecordBreakdown(true).
+	LastBreakdown() Breakdown
+	// RecordBreakdown turns decomposition recording on or off. It is off
+	// by default so unobserved runs skip the extra stores in Service.
+	RecordBreakdown(on bool)
+}
+
 // HP97560 is a disk-accurate model of the HP 97560 drive: a two-segment
 // seek-time curve, rotational latency derived from the modeled angular
 // position of the platter, media-rate transfer, and a readahead cache that
@@ -62,13 +84,21 @@ type HP97560 struct {
 	idleFrom    float64 // completion time of the previous request
 	cacheLo     int64   // readahead cache window [cacheLo, cacheHi)
 	cacheHi     int64
+	record      bool      // record per-call decompositions into last
+	last        Breakdown // decomposition of the last Service call
 }
+
+// LastBreakdown implements BreakdownModel.
+func (m *HP97560) LastBreakdown() Breakdown { return m.last }
+
+// RecordBreakdown implements BreakdownModel.
+func (m *HP97560) RecordBreakdown(on bool) { m.record = on }
 
 // NewHP97560 returns a fresh HP 97560 drive model.
 func NewHP97560() *HP97560 { return &HP97560{} }
 
 // Reset implements Model.
-func (m *HP97560) Reset() { *m = HP97560{} }
+func (m *HP97560) Reset() { *m = HP97560{record: m.record} }
 
 // SeekMs returns the HP 97560 seek time for a move of dist cylinders
 // (Ruemmler & Wilkes): 3.24 + 0.400*sqrt(d) ms for short seeks and
@@ -116,7 +146,11 @@ func (m *HP97560) Service(lbn int64, now float64) float64 {
 		// Cold drive: average-ish positioning cost.
 		m.headCyl = cyl
 		m.lastEnd = end
-		t := SeekMs(Cylinders/3) + RevolutionMs/2 + BlockMediaMs
+		seek := SeekMs(Cylinders / 3)
+		if m.record {
+			m.last = Breakdown{SeekMs: seek, RotationMs: RevolutionMs / 2, TransferMs: BlockMediaMs}
+		}
+		t := seek + RevolutionMs/2 + BlockMediaMs
 		m.idleFrom = now + t
 		m.cacheLo, m.cacheHi = start, end
 		return t
@@ -137,12 +171,20 @@ func (m *HP97560) Service(lbn int64, now float64) float64 {
 	case start >= m.cacheLo && end <= m.cacheHi:
 		// Whole extent already in the readahead cache: bus transfer only.
 		t = BlockBusMs
+		if m.record {
+			m.last = Breakdown{TransferMs: BlockBusMs}
+		}
 	case start == m.lastEnd:
 		// Sequential continuation: the head is already positioned; pay
 		// media transfer (plus a track/cylinder crossing if we wrapped).
 		t = BlockMediaMs
+		var seek float64
 		if cyl != m.headCyl {
-			t += SeekMs(1)
+			seek = SeekMs(1)
+			t += seek
+		}
+		if m.record {
+			m.last = Breakdown{SeekMs: seek, TransferMs: BlockMediaMs}
 		}
 	default:
 		// Positioning: seek plus rotational latency from the modeled
@@ -156,7 +198,11 @@ func (m *HP97560) Service(lbn int64, now float64) float64 {
 		if rot < 0 {
 			rot += SectorsPerTrack
 		}
-		t = seek + rot/SectorsPerTrack*RevolutionMs + BlockMediaMs
+		rotMs := rot / SectorsPerTrack * RevolutionMs
+		if m.record {
+			m.last = Breakdown{SeekMs: seek, RotationMs: rotMs, TransferMs: BlockMediaMs}
+		}
+		t = seek + rotMs + BlockMediaMs
 	}
 
 	m.headCyl = cyl
@@ -187,20 +233,34 @@ type Simple struct {
 	PositionMs float64
 	lastEnd    int64
 	started    bool
+	record     bool
+	last       Breakdown
 }
+
+// LastBreakdown implements BreakdownModel; the fixed positioning cost is
+// reported as seek.
+func (m *Simple) LastBreakdown() Breakdown { return m.last }
+
+// RecordBreakdown implements BreakdownModel.
+func (m *Simple) RecordBreakdown(on bool) { m.record = on }
 
 // NewSimple returns a Simple model with a typical 11 ms positioning cost.
 func NewSimple() *Simple { return &Simple{PositionMs: 11.0} }
 
 // Reset implements Model.
-func (m *Simple) Reset() { m.lastEnd, m.started = 0, false }
+func (m *Simple) Reset() { *m = Simple{PositionMs: m.PositionMs, record: m.record} }
 
 // Service implements Model.
 func (m *Simple) Service(lbn int64, now float64) float64 {
 	start := lbn * BlockSectors
 	t := BlockMediaMs
+	var pos float64
 	if !m.started || start != m.lastEnd {
 		t += m.PositionMs
+		pos = m.PositionMs
+	}
+	if m.record {
+		m.last = Breakdown{SeekMs: pos, TransferMs: BlockMediaMs}
 	}
 	m.started = true
 	m.lastEnd = start + BlockSectors

@@ -100,7 +100,15 @@ type Parametric struct {
 	idleFrom    float64
 	cacheLo     int64
 	cacheHi     int64
+	record      bool
+	last        Breakdown
 }
+
+// LastBreakdown implements BreakdownModel.
+func (m *Parametric) LastBreakdown() Breakdown { return m.last }
+
+// RecordBreakdown implements BreakdownModel.
+func (m *Parametric) RecordBreakdown(on bool) { m.record = on }
 
 // NewParametric builds a drive model from the geometry.
 func NewParametric(g Geometry) (*Parametric, error) {
@@ -116,7 +124,7 @@ func (m *Parametric) Geometry() Geometry { return m.g }
 // Reset implements Model.
 func (m *Parametric) Reset() {
 	g := m.g
-	*m = Parametric{g: g}
+	*m = Parametric{g: g, record: m.record}
 }
 
 // Service implements Model.
@@ -139,7 +147,11 @@ func (m *Parametric) Service(lbn int64, now float64) float64 {
 		m.initialized = true
 		m.headCyl = cyl
 		m.lastEnd = end
-		t := g.seekMs(g.Cylinders/3) + rev/2 + mediaMs
+		seek := g.seekMs(g.Cylinders / 3)
+		if m.record {
+			m.last = Breakdown{SeekMs: seek, RotationMs: rev / 2, TransferMs: mediaMs}
+		}
+		t := seek + rev/2 + mediaMs
 		m.idleFrom = now + t
 		m.cacheLo, m.cacheHi = start, end
 		return t
@@ -155,10 +167,18 @@ func (m *Parametric) Service(lbn int64, now float64) float64 {
 	switch {
 	case cacheSec > 0 && start >= m.cacheLo && end <= m.cacheHi:
 		t = busMs
+		if m.record {
+			m.last = Breakdown{TransferMs: busMs}
+		}
 	case start == m.lastEnd:
 		t = mediaMs
+		var seek float64
 		if cyl != m.headCyl {
-			t += g.seekMs(1)
+			seek = g.seekMs(1)
+			t += seek
+		}
+		if m.record {
+			m.last = Breakdown{SeekMs: seek, TransferMs: mediaMs}
 		}
 	default:
 		seek := g.seekMs(cyl - m.headCyl)
@@ -169,7 +189,11 @@ func (m *Parametric) Service(lbn int64, now float64) float64 {
 		if rot < 0 {
 			rot += float64(g.SectorsPerTrack)
 		}
-		t = seek + rot/float64(g.SectorsPerTrack)*rev + mediaMs
+		rotMs := rot / float64(g.SectorsPerTrack) * rev
+		if m.record {
+			m.last = Breakdown{SeekMs: seek, RotationMs: rotMs, TransferMs: mediaMs}
+		}
+		t = seek + rotMs + mediaMs
 	}
 	m.headCyl = cyl
 	m.lastEnd = end

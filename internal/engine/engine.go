@@ -20,6 +20,7 @@ import (
 	"ppcsim/internal/disk"
 	"ppcsim/internal/future"
 	"ppcsim/internal/layout"
+	"ppcsim/internal/obs"
 	"ppcsim/internal/trace"
 )
 
@@ -51,6 +52,10 @@ type Config struct {
 	// Hints degrades the advance knowledge the policy receives; nil means
 	// the paper's fully-hinted case.
 	Hints *HintSpec
+	// Observer receives the run's event stream (see package obs). When
+	// nil — the default — every emission point reduces to one nil check,
+	// so an unobserved run pays nothing.
+	Observer obs.Observer
 }
 
 // HintSpec models incomplete or inaccurate application hints — the
@@ -109,6 +114,26 @@ type Result struct {
 	WriteRequests int64
 	// PerDisk breaks the I/O metrics down by array slot.
 	PerDisk []DiskResult
+	// Latency summarizes the fetch-latency and stall-duration
+	// distributions. It is populated only when a *obs.StreamingStats
+	// observer is attached to the run (directly or inside an obs.Tee);
+	// otherwise it is nil.
+	Latency *LatencySummary
+}
+
+// LatencySummary reports streaming-histogram percentiles of per-request
+// fetch latency (queueing plus service) and per-stall duration.
+type LatencySummary struct {
+	FetchCount  int64
+	FetchMeanMs float64
+	FetchP50Ms  float64
+	FetchP95Ms  float64
+	FetchP99Ms  float64
+	StallCount  int64
+	StallMeanMs float64
+	StallP50Ms  float64
+	StallP95Ms  float64
+	StallP99Ms  float64
 }
 
 // DiskResult is one drive's share of a Result.
@@ -160,6 +185,18 @@ type State struct {
 	fetches   int64
 	inFlight  map[layout.BlockID]int // block -> disk, for stall lookups
 	issueErr  error
+
+	// Observability. obs is nil for unobserved runs; every emission
+	// point is behind a nil check. batchIssued counts the fetches issued
+	// per disk within one policy invocation, to emit batch-formation
+	// events; stallStart is the begin time of the current stall; breakdowns
+	// carries each in-service request's service-time decomposition from
+	// start to completion (kept out of disk.Request so the unobserved fast
+	// path allocates smaller requests).
+	obs         obs.Observer
+	batchIssued []int
+	stallStart  float64
+	breakdowns  map[*disk.Request]disk.Breakdown
 
 	// OnComplete, if set by the policy in Attach, is invoked after every
 	// disk completion with the disk index and modeled service time.
@@ -214,6 +251,57 @@ func (s *State) Issue(b, victim layout.BlockID) {
 	s.driverMs += s.overhead
 	if !s.stalled {
 		s.processAt += s.overhead
+	}
+	if s.obs != nil {
+		s.batchIssued[pl.Disk]++
+		s.obs.FetchIssued(obs.FetchEvent{
+			TMs:         s.now,
+			Block:       int64(b),
+			Disk:        pl.Disk,
+			QueueDepth:  s.Drives[pl.Disk].Outstanding(),
+			CacheUsed:   s.Cache.Used(),
+			DriverMs:    s.overhead,
+			DuringStall: s.stalled,
+		})
+	}
+}
+
+// batchTracker wraps the policy of an observed run: each Poll or OnStall
+// invocation counts the fetches the policy issues per disk (via
+// State.batchIssued) and emits one BatchFormed event per disk that
+// received any. Unobserved runs use the policy directly, so the fast
+// path keeps its original call structure.
+type batchTracker struct {
+	s     *State
+	inner Policy
+}
+
+func (t *batchTracker) Name() string    { return t.inner.Name() }
+func (t *batchTracker) Attach(s *State) { t.inner.Attach(s) }
+
+func (t *batchTracker) Poll() {
+	clearBatches(t.s)
+	t.inner.Poll()
+	emitBatches(t.s, false)
+}
+
+func (t *batchTracker) OnStall(b layout.BlockID) {
+	clearBatches(t.s)
+	t.inner.OnStall(b)
+	emitBatches(t.s, true)
+}
+
+func clearBatches(s *State) {
+	for i := range s.batchIssued {
+		s.batchIssued[i] = 0
+	}
+}
+
+func emitBatches(s *State, onStall bool) {
+	for d, n := range s.batchIssued {
+		if n > 0 {
+			s.obs.BatchFormed(obs.BatchEvent{TMs: s.now, Disk: d, Size: n, OnStall: onStall})
+		}
 	}
 }
 
@@ -328,6 +416,49 @@ func Run(cfg Config) (Result, error) {
 		compute:  compute,
 		overhead: overhead,
 		inFlight: make(map[layout.BlockID]int),
+		obs:      cfg.Observer,
+	}
+	if s.obs != nil {
+		s.batchIssued = make([]int, cfg.Disks)
+		s.breakdowns = make(map[*disk.Request]disk.Breakdown)
+		for i, d := range drives {
+			i := i
+			d.EnableBreakdown()
+			d.OnStart = func(r *disk.Request, b disk.Breakdown, at float64) {
+				s.breakdowns[r] = b
+				s.obs.FetchStarted(obs.FetchEvent{
+					TMs:        at,
+					Block:      int64(r.Block),
+					Disk:       i,
+					Write:      r.Write,
+					IssuedMs:   r.EnqueuedAt,
+					StartMs:    at,
+					QueuedMs:   at - r.EnqueuedAt,
+					ServiceMs:  r.ServiceMs,
+					SeekMs:     b.SeekMs,
+					RotationMs: b.RotationMs,
+					TransferMs: b.TransferMs,
+				})
+			}
+		}
+		c.OnEvict = func(victim, replacement layout.BlockID, nextUse int) {
+			dist := -1
+			if nextUse != future.Never {
+				dist = nextUse - s.Oracle.Cursor()
+			}
+			s.obs.Eviction(obs.EvictEvent{
+				TMs:             s.now,
+				Victim:          int64(victim),
+				Replacement:     int64(replacement),
+				NextUseDistance: dist,
+			})
+		}
+	}
+	// pol is the policy the run loop drives; observed runs interpose the
+	// batch tracker so BatchFormed events bracket each policy invocation.
+	pol := cfg.Policy
+	if s.obs != nil {
+		pol = &batchTracker{s: s, inner: cfg.Policy}
 	}
 	cfg.Policy.Attach(s)
 
@@ -338,7 +469,7 @@ func Run(cfg Config) (Result, error) {
 
 	// The process is about to start computing toward reference 0.
 	s.processAt = compute[0]
-	cfg.Policy.Poll()
+	pol.Poll()
 	if s.issueErr != nil {
 		return Result{}, s.issueErr
 	}
@@ -365,7 +496,18 @@ func Run(cfg Config) (Result, error) {
 				s.Drives[pl.Disk].Enqueue(&disk.Request{Block: b, LBN: pl.LBN, Write: true}, s.now)
 				s.writes++
 				s.driverMs += s.overhead
-				serveReference(s, cfg.Policy, &cursor)
+				if s.obs != nil {
+					s.obs.FetchIssued(obs.FetchEvent{
+						TMs:        s.now,
+						Block:      int64(b),
+						Disk:       pl.Disk,
+						Write:      true,
+						QueueDepth: s.Drives[pl.Disk].Outstanding(),
+						CacheUsed:  s.Cache.Used(),
+						DriverMs:   s.overhead,
+					})
+				}
+				serveReference(s, pol, &cursor)
 				if s.issueErr != nil {
 					return Result{}, s.issueErr
 				}
@@ -375,7 +517,7 @@ func Run(cfg Config) (Result, error) {
 				continue
 			}
 			if s.Cache.Present(b) {
-				serveReference(s, cfg.Policy, &cursor)
+				serveReference(s, pol, &cursor)
 				if s.issueErr != nil {
 					return Result{}, s.issueErr
 				}
@@ -384,7 +526,13 @@ func Run(cfg Config) (Result, error) {
 			// Stall begins.
 			s.stalled = true
 			s.Cache.Miss()
-			if err := ensureStallFetch(s, cfg.Policy, b, cursor); err != nil {
+			if s.obs != nil {
+				s.stallStart = s.now
+				s.obs.StallBegin(obs.StallEvent{
+					TMs: s.now, Pos: cursor, Block: int64(b), Disk: s.DiskOf(b),
+				})
+			}
+			if err := ensureStallFetch(s, pol, b, cursor); err != nil {
 				return Result{}, err
 			}
 			continue
@@ -400,15 +548,18 @@ func Run(cfg Config) (Result, error) {
 		// Advance to the disk completion.
 		s.now = diskAt
 		req := drives[nextDisk].Complete(s.now)
+		if s.obs != nil {
+			emitFetchCompleted(s, req, nextDisk)
+		}
 		if req.Write {
 			// Write-behind completion: no cache state changes; just give
 			// the policy a decision point.
-			cfg.Policy.Poll()
+			pol.Poll()
 			if s.issueErr != nil {
 				return Result{}, s.issueErr
 			}
 			if s.stalled {
-				if err := ensureStallFetch(s, cfg.Policy, b, cursor); err != nil {
+				if err := ensureStallFetch(s, pol, b, cursor); err != nil {
 					return Result{}, err
 				}
 			}
@@ -425,26 +576,35 @@ func Run(cfg Config) (Result, error) {
 			s.stalled = false
 			s.afterMiss = true
 			s.processAt = s.now
-			serveReference(s, cfg.Policy, &cursor)
+			if s.obs != nil {
+				s.obs.StallEnd(obs.StallEvent{
+					TMs: s.now, Pos: cursor, Block: int64(b), Disk: nextDisk,
+					DurationMs: s.now - s.stallStart,
+				})
+			}
+			serveReference(s, pol, &cursor)
 			if s.issueErr != nil {
 				return Result{}, s.issueErr
 			}
 			continue
 		}
-		cfg.Policy.Poll()
+		pol.Poll()
 		if s.issueErr != nil {
 			return Result{}, s.issueErr
 		}
 		if s.stalled {
 			// A buffer may have freed up; make sure the stalled block's
 			// fetch gets issued.
-			if err := ensureStallFetch(s, cfg.Policy, b, cursor); err != nil {
+			if err := ensureStallFetch(s, pol, b, cursor); err != nil {
 				return Result{}, err
 			}
 		}
 	}
 
 	elapsed := s.now
+	if s.obs != nil {
+		s.obs.RunEnd(elapsed)
+	}
 	var busy, svc, resp float64
 	var served int64
 	perDisk := make([]DiskResult, len(drives))
@@ -493,7 +653,54 @@ func Run(cfg Config) (Result, error) {
 	if elapsed > 0 {
 		res.AvgUtilization = busy / elapsed / float64(len(drives))
 	}
+	if cfg.Observer != nil {
+		obs.Each(cfg.Observer, func(o obs.Observer) {
+			if st, ok := o.(*obs.StreamingStats); ok {
+				res.Latency = summarize(st)
+			}
+		})
+	}
 	return res, nil
+}
+
+// summarize converts a StreamingStats observer into the Result's
+// latency summary.
+func summarize(st *obs.StreamingStats) *LatencySummary {
+	return &LatencySummary{
+		FetchCount:  st.FetchLatency.Count(),
+		FetchMeanMs: st.FetchLatency.MeanMs(),
+		FetchP50Ms:  st.FetchLatency.Quantile(0.50),
+		FetchP95Ms:  st.FetchLatency.Quantile(0.95),
+		FetchP99Ms:  st.FetchLatency.Quantile(0.99),
+		StallCount:  st.StallDuration.Count(),
+		StallMeanMs: st.StallDuration.MeanMs(),
+		StallP50Ms:  st.StallDuration.Quantile(0.50),
+		StallP95Ms:  st.StallDuration.Quantile(0.95),
+		StallP99Ms:  st.StallDuration.Quantile(0.99),
+	}
+}
+
+// emitFetchCompleted reports a completed request, with its queueing and
+// service breakdown, to the attached observer.
+func emitFetchCompleted(s *State, req *disk.Request, d int) {
+	start := s.now - req.ServiceMs
+	b := s.breakdowns[req]
+	delete(s.breakdowns, req)
+	s.obs.FetchCompleted(obs.FetchEvent{
+		TMs:        s.now,
+		Block:      int64(req.Block),
+		Disk:       d,
+		Write:      req.Write,
+		QueueDepth: s.Drives[d].Outstanding(),
+		CacheUsed:  s.Cache.Used(),
+		IssuedMs:   req.EnqueuedAt,
+		StartMs:    start,
+		QueuedMs:   start - req.EnqueuedAt,
+		ServiceMs:  req.ServiceMs,
+		SeekMs:     b.SeekMs,
+		RotationMs: b.RotationMs,
+		TransferMs: b.TransferMs,
+	})
 }
 
 // ensureStallFetch asks the policy to fetch the stalled block b. A policy
@@ -526,6 +733,7 @@ func ensureStallFetch(s *State, p Policy, b layout.BlockID, cursor int) error {
 // next reference time, and polls the policy.
 func serveReference(s *State, p Policy, cursor *int) {
 	b := s.trueRefs[*cursor]
+	hit := !s.afterMiss
 	switch {
 	case s.isWrite[*cursor]:
 		// Writes bypass the cache.
@@ -536,6 +744,12 @@ func serveReference(s *State, p Policy, cursor *int) {
 		s.Cache.Reference(b)
 	}
 	wasWrite := s.isWrite[*cursor]
+	if s.obs != nil && !wasWrite {
+		s.obs.RefServed(obs.RefEvent{
+			TMs: s.now, Pos: *cursor, Block: int64(b),
+			Disk: s.DiskOf(b), Hit: hit,
+		})
+	}
 	*cursor++
 	s.Oracle.Advance(*cursor)
 	if !wasWrite {

@@ -17,11 +17,20 @@ func AppendixA(o *Options) error {
 	}
 	for _, name := range names {
 		disks := diskCounts(name)
-		series := []algSeries{
-			collect(o, name, ppcsim.FixedHorizon, disks, nil),
-			collect(o, name, ppcsim.Aggressive, disks, nil),
-			collectRevAggBest(o, name, disks, nil),
-			collect(o, name, ppcsim.Forestall, disks, nil),
+		var series []algSeries
+		for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive} {
+			if o.wantAlg(alg) {
+				series = append(series, collect(o, name, alg, disks, nil))
+			}
+		}
+		if o.wantAlg(ppcsim.ReverseAggressive) {
+			series = append(series, collectRevAggBest(o, name, disks, nil))
+		}
+		if o.wantAlg(ppcsim.Forestall) {
+			series = append(series, collect(o, name, ppcsim.Forestall, disks, nil))
+		}
+		if len(series) == 0 {
+			continue
 		}
 		appendixTable(fmt.Sprintf("Performance on the %s trace (baseline)", name), disks, series).Render(o.Out)
 	}
@@ -38,10 +47,17 @@ func AppendixB(o *Options) error {
 	fcfs := func(c *ppcsim.Options) { c.Scheduler = ppcsim.FCFS }
 	for _, name := range names {
 		disks := diskCounts(name)
-		series := []algSeries{
-			collect(o, name, ppcsim.FixedHorizon, disks, fcfs),
-			collect(o, name, ppcsim.Aggressive, disks, fcfs),
-			collectRevAggBest(o, name, disks, fcfs),
+		var series []algSeries
+		for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive} {
+			if o.wantAlg(alg) {
+				series = append(series, collect(o, name, alg, disks, fcfs))
+			}
+		}
+		if o.wantAlg(ppcsim.ReverseAggressive) {
+			series = append(series, collectRevAggBest(o, name, disks, fcfs))
+		}
+		if len(series) == 0 {
+			continue
 		}
 		appendixTable(fmt.Sprintf("Performance on the %s trace (FCFS scheduling)", name), disks, series).Render(o.Out)
 	}

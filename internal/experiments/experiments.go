@@ -28,6 +28,9 @@ type Options struct {
 	// time" (the paper's baseline rule).
 	RevAggEstimates []float64
 	RevAggBatches   []int
+	// Algs, when non-empty, restricts the multi-algorithm experiments
+	// (the appendix baselines) to the listed algorithms.
+	Algs []ppcsim.Algorithm
 	// SVGDir, when set, also writes every figure as an SVG file there.
 	SVGDir string
 }
@@ -50,6 +53,20 @@ func (o *Options) batches() []int {
 		return []int{16, 80}
 	}
 	return []int{4, 8, 16, 40, 80, 160}
+}
+
+// wantAlg reports whether the Algs filter admits the algorithm (an empty
+// filter admits everything).
+func (o *Options) wantAlg(a ppcsim.Algorithm) bool {
+	if len(o.Algs) == 0 {
+		return true
+	}
+	for _, want := range o.Algs {
+		if want == a {
+			return true
+		}
+	}
+	return false
 }
 
 // Experiment is one reproducible paper artifact.

@@ -1,0 +1,217 @@
+// Package obs is the simulator's observability layer: a typed event
+// stream emitted at every decision point of a run — references served,
+// stalls beginning and ending, fetch lifecycles with their service-time
+// breakdown, evictions, and batch formation. The engine emits events only
+// when an Observer is attached, so a run with no observer pays a single
+// nil check per hook site.
+//
+// Three built-in observers cover the common uses: Recorder collects
+// per-disk time series and stall intervals, ChromeTracer exports a
+// chrome://tracing / Perfetto-loadable JSON timeline, and StreamingStats
+// maintains latency histograms with percentile summaries.
+//
+// All timestamps and durations are milliseconds of simulated time since
+// the start of the run.
+package obs
+
+import "reflect"
+
+// RefEvent reports one reference served to the process.
+type RefEvent struct {
+	TMs   float64 // time the reference was consumed
+	Pos   int     // position in the reference sequence
+	Block int64
+	Disk  int  // disk holding the block
+	Hit   bool // false when the reference had to wait for a fetch
+}
+
+// StallEvent reports the process blocking on a missing block (begin) or
+// resuming after its arrival (end).
+type StallEvent struct {
+	TMs        float64 // begin time for StallBegin, end time for StallEnd
+	Pos        int     // position of the stalled reference
+	Block      int64
+	Disk       int
+	DurationMs float64 // zero on begin; end time minus begin time on end
+}
+
+// FetchEvent reports one disk request's lifecycle. Issue-time fields are
+// set on FetchIssued; service fields are set on FetchStarted and
+// FetchCompleted.
+type FetchEvent struct {
+	TMs   float64
+	Block int64
+	Disk  int
+	Write bool // write-behind update rather than a read fetch
+
+	// Issue-time fields.
+	QueueDepth  int     // requests outstanding at the disk, including this one
+	CacheUsed   int     // buffers present or reserved after the issue
+	DriverMs    float64 // driver CPU overhead charged for the issue
+	DuringStall bool    // issued while the process was stalled
+
+	// Service fields.
+	IssuedMs   float64 // when the request was enqueued
+	StartMs    float64 // when it entered service
+	QueuedMs   float64 // StartMs - IssuedMs
+	ServiceMs  float64 // modeled service time
+	SeekMs     float64 // seek component of the service time
+	RotationMs float64 // rotational-latency component
+	TransferMs float64 // media/bus transfer component
+}
+
+// EvictEvent reports a replacement decision: Victim leaves the cache so
+// Replacement's fetch can reserve its buffer.
+type EvictEvent struct {
+	TMs         float64
+	Victim      int64
+	Replacement int64
+	// NextUseDistance is the number of references until the victim is
+	// needed again, measured from the eviction point; -1 if never.
+	NextUseDistance int
+}
+
+// BatchEvent reports that one policy decision point issued Size fetches
+// at a single disk — the batches of aggressive, forestall, and reverse
+// aggressive surface here.
+type BatchEvent struct {
+	TMs     float64
+	Disk    int
+	Size    int
+	OnStall bool // the batch was formed handling a demand miss
+}
+
+// Observer receives the event stream of one run. Implementations must
+// not retain the engine's internal state; events are self-contained
+// values. A single run's events arrive in simulation-time order.
+type Observer interface {
+	RefServed(RefEvent)
+	StallBegin(StallEvent)
+	StallEnd(StallEvent)
+	FetchIssued(FetchEvent)
+	FetchStarted(FetchEvent)
+	FetchCompleted(FetchEvent)
+	Eviction(EvictEvent)
+	BatchFormed(BatchEvent)
+	// RunEnd is called once, after the last reference is served, with the
+	// run's elapsed time.
+	RunEnd(elapsedMs float64)
+}
+
+// Base is a no-op Observer for embedding, so custom observers implement
+// only the events they care about.
+type Base struct{}
+
+func (Base) RefServed(RefEvent)        {}
+func (Base) StallBegin(StallEvent)     {}
+func (Base) StallEnd(StallEvent)       {}
+func (Base) FetchIssued(FetchEvent)    {}
+func (Base) FetchStarted(FetchEvent)   {}
+func (Base) FetchCompleted(FetchEvent) {}
+func (Base) Eviction(EvictEvent)       {}
+func (Base) BatchFormed(BatchEvent)    {}
+func (Base) RunEnd(float64)            {}
+
+// Multi fans every event out to each member in order.
+type Multi []Observer
+
+func (m Multi) RefServed(e RefEvent) {
+	for _, o := range m {
+		o.RefServed(e)
+	}
+}
+func (m Multi) StallBegin(e StallEvent) {
+	for _, o := range m {
+		o.StallBegin(e)
+	}
+}
+func (m Multi) StallEnd(e StallEvent) {
+	for _, o := range m {
+		o.StallEnd(e)
+	}
+}
+func (m Multi) FetchIssued(e FetchEvent) {
+	for _, o := range m {
+		o.FetchIssued(e)
+	}
+}
+func (m Multi) FetchStarted(e FetchEvent) {
+	for _, o := range m {
+		o.FetchStarted(e)
+	}
+}
+func (m Multi) FetchCompleted(e FetchEvent) {
+	for _, o := range m {
+		o.FetchCompleted(e)
+	}
+}
+func (m Multi) Eviction(e EvictEvent) {
+	for _, o := range m {
+		o.Eviction(e)
+	}
+}
+func (m Multi) BatchFormed(e BatchEvent) {
+	for _, o := range m {
+		o.BatchFormed(e)
+	}
+}
+func (m Multi) RunEnd(elapsedMs float64) {
+	for _, o := range m {
+		o.RunEnd(elapsedMs)
+	}
+}
+
+// Tee combines observers into one, dropping nils — including typed nil
+// pointers, so a conditionally-created observer variable (e.g. a
+// *Recorder that stayed nil) can be passed directly without wrapping.
+// It returns nil when nothing remains (so the engine's nil fast path
+// still applies), the sole member when one remains, and a Multi
+// otherwise.
+func Tee(observers ...Observer) Observer {
+	var kept Multi
+	for _, o := range observers {
+		if !observerIsNil(o) {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+// observerIsNil reports whether o is nil or wraps a nil pointer value.
+// A typed nil (say, an unassigned *Recorder passed through the Observer
+// interface) compares non-nil but panics on the first event; Tee filters
+// both forms so callers can pass conditionally-created observers as-is.
+func observerIsNil(o Observer) bool {
+	if o == nil {
+		return true
+	}
+	v := reflect.ValueOf(o)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Slice, reflect.Func, reflect.Chan:
+		return v.IsNil()
+	}
+	return false
+}
+
+// Each calls fn for every non-Multi observer reachable from o, walking
+// nested Multi groups. The engine uses it to find a StreamingStats
+// wherever it sits in a Tee.
+func Each(o Observer, fn func(Observer)) {
+	if o == nil {
+		return
+	}
+	if m, ok := o.(Multi); ok {
+		for _, member := range m {
+			Each(member, fn)
+		}
+		return
+	}
+	fn(o)
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestKahanSum(t *testing.T) {
+	// 10M additions of 0.1 ms: naive summation drifts by microseconds,
+	// compensated summation stays exact to the last bit of the total.
+	var k kahan
+	naive := 0.0
+	for i := 0; i < 10_000_000; i++ {
+		k.add(0.1)
+		naive += 0.1
+	}
+	want := 1e6
+	if d := math.Abs(k.sum - want); d > 1e-7 {
+		t.Errorf("kahan sum off by %g", d)
+	}
+	if d := math.Abs(naive - want); d < math.Abs(k.sum-want) {
+		t.Errorf("kahan (%g off) should beat naive (%g off)", math.Abs(k.sum-want), d)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// Uniform samples: quantile estimates must land within the histogram's
+	// ~5% relative resolution of the exact order statistics.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := 0.5 + rng.Float64()*99.5 // [0.5, 100) ms
+		h.Observe(v)
+		samples = append(samples, v)
+	}
+	sort.Float64s(samples)
+	if h.Count() != 20000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.06 {
+			t.Errorf("q=%g: got %g, exact %g (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if got := h.Quantile(0); got != samples[0] {
+		t.Errorf("q=0 should return the min %g, got %g", samples[0], got)
+	}
+	if got := h.Quantile(1); got != samples[len(samples)-1] {
+		t.Errorf("q=1 should return the max %g, got %g", samples[len(samples)-1], got)
+	}
+	mean := 0.0
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(len(samples))
+	if d := math.Abs(h.MeanMs() - mean); d > 1e-9 {
+		t.Errorf("mean %g, want exact %g", h.MeanMs(), mean)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.MeanMs() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(0)    // below the lowest bucket
+	h.Observe(1e99) // above the highest
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Clamping keeps estimates inside the observed range even for the
+	// overflow buckets.
+	if q := h.Quantile(0.01); q < 0 {
+		t.Errorf("quantile %g below observed min", q)
+	}
+	if q := h.Quantile(0.99); q > 1e99 {
+		t.Errorf("quantile %g above observed max", q)
+	}
+}
+
+func TestTeeAndEach(t *testing.T) {
+	if Tee() != nil {
+		t.Error("empty Tee must be nil (the unobserved fast path)")
+	}
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils must be nil")
+	}
+	// A typed nil pointer is non-nil as an interface but panics on the
+	// first event; Tee must drop it like an untyped nil.
+	var unset *ChromeTracer
+	if Tee(unset) != nil {
+		t.Error("Tee of a typed nil must be nil")
+	}
+	r := NewRecorder()
+	if got := Tee(nil, r); got != Observer(r) {
+		t.Error("single-observer Tee should return the observer itself")
+	}
+	if got := Tee(unset, r); got != Observer(r) {
+		t.Error("Tee(typed nil, r) should return r")
+	}
+	s := NewStreamingStats()
+	combo := Tee(r, Tee(s, nil))
+	var seen []Observer
+	Each(combo, func(o Observer) { seen = append(seen, o) })
+	if len(seen) != 2 {
+		t.Fatalf("Each visited %d observers, want 2", len(seen))
+	}
+	// Fan-out delivers to every member.
+	combo.StallEnd(StallEvent{TMs: 10, DurationMs: 4})
+	if len(r.Stalls) != 1 || s.StallDuration.Count() != 1 {
+		t.Error("Tee did not fan out StallEnd")
+	}
+}
+
+func TestRecorderReconciliationLogic(t *testing.T) {
+	r := NewRecorder()
+	// Driver work outside a stall counts toward driver only.
+	r.FetchIssued(FetchEvent{TMs: 0, Disk: 0, DriverMs: 0.5, QueueDepth: 1})
+	// A 10ms stall with 0.5ms of driver work charged during it.
+	r.StallBegin(StallEvent{TMs: 5, Block: 7, Pos: 3})
+	r.FetchIssued(FetchEvent{TMs: 5, Disk: 0, DriverMs: 0.5, QueueDepth: 2, DuringStall: true})
+	r.StallEnd(StallEvent{TMs: 15, DurationMs: 10})
+	r.RunEnd(20)
+
+	if got, want := r.DriverTimeSec(), 0.001; math.Abs(got-want) > 1e-12 {
+		t.Errorf("DriverTimeSec = %g, want %g", got, want)
+	}
+	// Stall residual excludes the overlapped driver work: 10 - 0.5 ms.
+	if got, want := r.StallTimeSec(), 0.0095; math.Abs(got-want) > 1e-12 {
+		t.Errorf("StallTimeSec = %g, want %g", got, want)
+	}
+	if len(r.Stalls) != 1 || r.Stalls[0].StartMs != 5 || r.Stalls[0].EndMs != 15 || r.Stalls[0].Block != 7 {
+		t.Errorf("stall interval %+v", r.Stalls)
+	}
+	if r.ElapsedMs != 20 {
+		t.Errorf("ElapsedMs = %g", r.ElapsedMs)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder()
+	r.FetchIssued(FetchEvent{TMs: 1, Disk: 1, QueueDepth: 1, CacheUsed: 3})
+	r.FetchCompleted(FetchEvent{TMs: 9, Disk: 1, QueueDepth: 0, CacheUsed: 4, ServiceMs: 8})
+	r.StallBegin(StallEvent{TMs: 2})
+	r.StallEnd(StallEvent{TMs: 9, DurationMs: 7})
+	r.BatchFormed(BatchEvent{TMs: 1, Disk: 1, Size: 4})
+	r.Eviction(EvictEvent{TMs: 1, Victim: 12, NextUseDistance: 40})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "series,disk,t_ms,value" {
+		t.Errorf("header %q", lines[0])
+	}
+	// queue_depth x2 + utilization x1 + cache_used x2 + stall + batch + eviction
+	if len(lines) != 1+8 {
+		t.Errorf("%d data rows, want 8:\n%s", len(lines)-1, buf.String())
+	}
+	for _, want := range []string{
+		"queue_depth,1,1.000000,1.000000",
+		"utilization,1,9.000000,0.888889",
+		"stall,-1,2.000000,7.000000",
+		"batch,1,1.000000,4.000000",
+		"eviction,-1,1.000000,40.000000",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("CSV missing row %q", want)
+		}
+	}
+	// Disk 0 never appeared; series indices still line up (lazy growth).
+	if len(r.QueueDepth) != 2 {
+		t.Errorf("expected lazy growth to disk index 1, got %d slots", len(r.QueueDepth))
+	}
+}

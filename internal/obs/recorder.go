@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	TMs float64
+	V   float64
+}
+
+// Interval is one stall: the process blocked on Block (needed at
+// reference position Pos) from StartMs to EndMs.
+type Interval struct {
+	StartMs float64
+	EndMs   float64
+	Block   int64
+	Pos     int
+}
+
+// kahan is a compensated accumulator, so event-derived totals reconcile
+// with the engine's aggregate Result fields to well under a nanosecond
+// even on million-event runs.
+type kahan struct{ sum, c float64 }
+
+func (k *kahan) add(v float64) {
+	y := v - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Recorder is the built-in time-series observer: it turns the event
+// stream into per-disk utilization, queue-depth, and cache-occupancy
+// series, the list of stall intervals, and exact driver/stall totals
+// that reconcile with the run's Result.
+type Recorder struct {
+	// QueueDepth[d] samples disk d's outstanding-request count at every
+	// issue and completion.
+	QueueDepth [][]Point
+	// Utilization[d] samples disk d's cumulative busy fraction
+	// (busy time / current time) at every completion.
+	Utilization [][]Point
+	// CacheOccupancy samples the number of used buffers (present or
+	// reserved) at every fetch issue and completion.
+	CacheOccupancy []Point
+	// Stalls lists every stall interval in order.
+	Stalls []Interval
+	// Batches lists every batch-formation event.
+	Batches []BatchEvent
+	// Evictions lists every replacement decision.
+	Evictions []EvictEvent
+	// ElapsedMs is the run's elapsed time, set by RunEnd.
+	ElapsedMs float64
+
+	busyMs      []float64
+	driver      kahan // all driver CPU charged
+	stallDriver kahan // driver CPU charged while the process was stalled
+	stallWall   kahan // total blocked wall time
+	openStall   Interval
+	stalled     bool
+}
+
+// NewRecorder returns an empty Recorder; per-disk series grow as disks
+// appear in the event stream.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) ensureDisk(d int) {
+	for len(r.QueueDepth) <= d {
+		r.QueueDepth = append(r.QueueDepth, nil)
+		r.Utilization = append(r.Utilization, nil)
+		r.busyMs = append(r.busyMs, 0)
+	}
+}
+
+// RefServed implements Observer.
+func (r *Recorder) RefServed(RefEvent) {}
+
+// StallBegin implements Observer.
+func (r *Recorder) StallBegin(e StallEvent) {
+	r.openStall = Interval{StartMs: e.TMs, Block: e.Block, Pos: e.Pos}
+	r.stalled = true
+}
+
+// StallEnd implements Observer.
+func (r *Recorder) StallEnd(e StallEvent) {
+	r.openStall.EndMs = e.TMs
+	r.Stalls = append(r.Stalls, r.openStall)
+	r.stallWall.add(e.DurationMs)
+	r.stalled = false
+}
+
+// FetchIssued implements Observer.
+func (r *Recorder) FetchIssued(e FetchEvent) {
+	r.ensureDisk(e.Disk)
+	r.QueueDepth[e.Disk] = append(r.QueueDepth[e.Disk], Point{e.TMs, float64(e.QueueDepth)})
+	r.CacheOccupancy = append(r.CacheOccupancy, Point{e.TMs, float64(e.CacheUsed)})
+	r.driver.add(e.DriverMs)
+	if e.DuringStall {
+		r.stallDriver.add(e.DriverMs)
+	}
+}
+
+// FetchStarted implements Observer.
+func (r *Recorder) FetchStarted(FetchEvent) {}
+
+// FetchCompleted implements Observer.
+func (r *Recorder) FetchCompleted(e FetchEvent) {
+	r.ensureDisk(e.Disk)
+	r.busyMs[e.Disk] += e.ServiceMs
+	if e.TMs > 0 {
+		r.Utilization[e.Disk] = append(r.Utilization[e.Disk], Point{e.TMs, r.busyMs[e.Disk] / e.TMs})
+	}
+	r.QueueDepth[e.Disk] = append(r.QueueDepth[e.Disk], Point{e.TMs, float64(e.QueueDepth)})
+	r.CacheOccupancy = append(r.CacheOccupancy, Point{e.TMs, float64(e.CacheUsed)})
+}
+
+// Eviction implements Observer.
+func (r *Recorder) Eviction(e EvictEvent) { r.Evictions = append(r.Evictions, e) }
+
+// BatchFormed implements Observer.
+func (r *Recorder) BatchFormed(e BatchEvent) { r.Batches = append(r.Batches, e) }
+
+// RunEnd implements Observer.
+func (r *Recorder) RunEnd(elapsedMs float64) { r.ElapsedMs = elapsedMs }
+
+// DriverTimeSec returns the total driver CPU time derived from the
+// event stream. It equals Result.DriverTimeSec.
+func (r *Recorder) DriverTimeSec() float64 { return r.driver.sum / 1000 }
+
+// StallTimeSec returns the stall time derived from the event stream:
+// the blocked wall time minus the driver CPU work that overlapped it,
+// exactly the residual the paper's elapsed = compute + driver + stall
+// decomposition reports. It equals Result.StallTimeSec.
+func (r *Recorder) StallTimeSec() float64 {
+	s := r.stallWall.sum - r.stallDriver.sum
+	if s < 0 {
+		s = 0
+	}
+	return s / 1000
+}
+
+// WriteCSV emits every series in long form: series,disk,t_ms,value.
+// Stall rows carry the interval start as t_ms and the duration as value;
+// batch rows carry the batch size; eviction rows carry the victim's
+// next-use distance.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "disk", "t_ms", "value"}); err != nil {
+		return err
+	}
+	row := func(series string, disk int, t, v float64) error {
+		return cw.Write([]string{
+			series, strconv.Itoa(disk),
+			fmt.Sprintf("%.6f", t), fmt.Sprintf("%.6f", v),
+		})
+	}
+	for d, pts := range r.QueueDepth {
+		for _, p := range pts {
+			if err := row("queue_depth", d, p.TMs, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	for d, pts := range r.Utilization {
+		for _, p := range pts {
+			if err := row("utilization", d, p.TMs, p.V); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range r.CacheOccupancy {
+		if err := row("cache_used", -1, p.TMs, p.V); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Stalls {
+		if err := row("stall", -1, s.StartMs, s.EndMs-s.StartMs); err != nil {
+			return err
+		}
+	}
+	for _, b := range r.Batches {
+		if err := row("batch", b.Disk, b.TMs, float64(b.Size)); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Evictions {
+		if err := row("eviction", -1, e.TMs, float64(e.NextUseDistance)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,135 @@
+package obs
+
+import "math"
+
+// Histogram is a streaming log-bucketed histogram of millisecond
+// durations: geometric buckets spanning [histLoMs, histHiMs) with ~5%
+// relative resolution, plus exact count, sum, min, and max. The zero
+// value is ready to use.
+type Histogram struct {
+	counts []int64
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+const (
+	histLoMs    = 1e-3
+	histHiMs    = 1e7
+	histLnRatio = 0.04879016417 // ln(1.05)
+)
+
+var histBuckets = int(math.Ceil(math.Log(histHiMs/histLoMs)/histLnRatio)) + 2
+
+// bucket maps a value to its bucket index; index 0 collects everything
+// below histLoMs and the last bucket everything at or above histHiMs.
+func histBucket(v float64) int {
+	if v < histLoMs {
+		return 0
+	}
+	i := int(math.Log(v/histLoMs)/histLnRatio) + 1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histBound returns the upper bound of bucket i.
+func histBound(i int) float64 {
+	if i <= 0 {
+		return histLoMs
+	}
+	return histLoMs * math.Exp(float64(i)*histLnRatio)
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, histBuckets)
+	}
+	h.counts[histBucket(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.n }
+
+// MeanMs returns the exact sample mean, or 0 with no samples.
+func (h *Histogram) MeanMs() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) with ~5%
+// relative error, clamped to the exact observed [min, max]. It returns 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			// Geometric midpoint of the bucket's bounds.
+			lo := histBound(i - 1)
+			v := math.Sqrt(lo * histBound(i))
+			if i == 0 {
+				v = histBound(0) / 2
+			}
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// StreamingStats is the built-in statistics observer: streaming
+// histograms of fetch latency (queueing plus service, per read request)
+// and stall duration. When attached to a run — directly or inside a Tee
+// — the engine summarizes it into the Result's Latency field.
+type StreamingStats struct {
+	Base
+	// FetchLatency is the distribution of read-request response times.
+	FetchLatency Histogram
+	// StallDuration is the distribution of process stall durations.
+	StallDuration Histogram
+}
+
+// NewStreamingStats returns an empty StreamingStats.
+func NewStreamingStats() *StreamingStats { return &StreamingStats{} }
+
+// FetchCompleted implements Observer.
+func (s *StreamingStats) FetchCompleted(e FetchEvent) {
+	if e.Write {
+		return
+	}
+	s.FetchLatency.Observe(e.TMs - e.IssuedMs)
+}
+
+// StallEnd implements Observer.
+func (s *StreamingStats) StallEnd(e StallEvent) {
+	s.StallDuration.Observe(e.DurationMs)
+}

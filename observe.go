@@ -1,0 +1,58 @@
+package ppcsim
+
+import (
+	"ppcsim/internal/engine"
+	"ppcsim/internal/obs"
+)
+
+// Observer receives the typed event stream of a run: references served,
+// stalls, fetch lifecycles with service-time breakdowns, evictions, and
+// batch formation. Attach one via Options.Observer; a nil observer costs
+// nothing. Embed ObserverBase to implement only the events you need.
+type Observer = obs.Observer
+
+// ObserverBase is a no-op Observer for embedding in custom observers.
+type ObserverBase = obs.Base
+
+// Event payloads; see package internal/obs for field documentation. All
+// times are milliseconds of simulated time since the start of the run.
+type (
+	RefEvent   = obs.RefEvent
+	StallEvent = obs.StallEvent
+	FetchEvent = obs.FetchEvent
+	EvictEvent = obs.EvictEvent
+	BatchEvent = obs.BatchEvent
+)
+
+// Recorder is the built-in time-series observer: per-disk utilization
+// and queue-depth series, cache occupancy, stall intervals, batches,
+// and evictions, with event-derived driver/stall totals that reconcile
+// exactly with the Result. Export everything with WriteCSV.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// ChromeTracer exports a run as Chrome trace-event JSON: one timeline
+// row per disk plus one for the process. Write the file with WriteTo and
+// load it in chrome://tracing or https://ui.perfetto.dev.
+type ChromeTracer = obs.ChromeTracer
+
+// NewChromeTracer returns an empty ChromeTracer.
+func NewChromeTracer() *ChromeTracer { return obs.NewChromeTracer() }
+
+// StreamingStats maintains streaming histograms of fetch latency and
+// stall duration. When attached to a run it also populates the Result's
+// Latency summary (p50/p95/p99).
+type StreamingStats = obs.StreamingStats
+
+// NewStreamingStats returns an empty StreamingStats.
+func NewStreamingStats() *StreamingStats { return obs.NewStreamingStats() }
+
+// LatencySummary is the Result.Latency payload a StreamingStats observer
+// produces.
+type LatencySummary = engine.LatencySummary
+
+// Tee fans the event stream out to several observers (nils are dropped;
+// Tee() returns nil, preserving the unobserved fast path).
+func Tee(observers ...Observer) Observer { return obs.Tee(observers...) }

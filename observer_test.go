@@ -1,0 +1,240 @@
+package ppcsim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ppcsim"
+)
+
+// TestObserverReconciliation checks the core observability invariant on
+// every bundled trace: the stall and driver totals derived from the
+// event stream must match the engine's Result to within 1e-9 seconds.
+func TestObserverReconciliation(t *testing.T) {
+	type cfg struct {
+		name string
+		alg  ppcsim.Algorithm
+		mut  func(*ppcsim.Options)
+	}
+	cfgs := []cfg{
+		{"forestall-2d", ppcsim.Forestall, func(o *ppcsim.Options) { o.Disks = 2 }},
+		{"aggressive-1d", ppcsim.Aggressive, nil},
+		{"aggressive-4d-fcfs", ppcsim.Aggressive, func(o *ppcsim.Options) {
+			o.Disks = 4
+			o.Scheduler = ppcsim.FCFS
+		}},
+		{"demand-lru", ppcsim.DemandLRU, nil},
+		{"fixed-horizon-hints", ppcsim.FixedHorizon, func(o *ppcsim.Options) {
+			o.Disks = 2
+			o.Hints = &ppcsim.HintSpec{Fraction: 0.7, Accuracy: 0.9}
+		}},
+		{"forestall-no-driver", ppcsim.Forestall, func(o *ppcsim.Options) { o.DriverOverheadMs = -1 }},
+	}
+	for _, name := range ppcsim.TraceNames {
+		tr, err := ppcsim.NewTrace(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cfgs {
+			rec := ppcsim.NewRecorder()
+			opts := ppcsim.Options{Trace: tr, Algorithm: c.alg, Observer: rec}
+			if c.mut != nil {
+				c.mut(&opts)
+			}
+			res, err := ppcsim.Run(opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c.name, err)
+			}
+			if d := math.Abs(rec.StallTimeSec() - res.StallTimeSec); d > 1e-9 {
+				t.Errorf("%s/%s: event-derived stall %.12f vs result %.12f (|Δ|=%g)",
+					name, c.name, rec.StallTimeSec(), res.StallTimeSec, d)
+			}
+			if d := math.Abs(rec.DriverTimeSec() - res.DriverTimeSec); d > 1e-9 {
+				t.Errorf("%s/%s: event-derived driver %.12f vs result %.12f (|Δ|=%g)",
+					name, c.name, rec.DriverTimeSec(), res.DriverTimeSec, d)
+			}
+			if got, want := int64(len(rec.Stalls)), res.CacheMisses; got != want {
+				t.Errorf("%s/%s: %d stall intervals, want one per miss (%d)", name, c.name, got, want)
+			}
+			if rec.ElapsedMs <= 0 {
+				t.Errorf("%s/%s: recorder never saw RunEnd", name, c.name)
+			}
+		}
+	}
+}
+
+// TestObserverStreamingStats: a Tee'd StreamingStats populates
+// Result.Latency with ordered percentiles consistent with the run.
+func TestObserverStreamingStats(t *testing.T) {
+	tr, err := ppcsim.NewTrace("cscope1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ppcsim.NewStreamingStats()
+	rec := ppcsim.NewRecorder()
+	res, err := ppcsim.Run(ppcsim.Options{
+		Trace:     tr,
+		Algorithm: ppcsim.Forestall,
+		Disks:     2,
+		Observer:  ppcsim.Tee(rec, stats),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency == nil {
+		t.Fatal("Result.Latency not populated despite StreamingStats observer")
+	}
+	l := res.Latency
+	if l.FetchCount != res.Fetches {
+		t.Errorf("latency summary saw %d fetches, result has %d", l.FetchCount, res.Fetches)
+	}
+	if l.StallCount != res.CacheMisses {
+		t.Errorf("latency summary saw %d stalls, result has %d misses", l.StallCount, res.CacheMisses)
+	}
+	if !(l.FetchP50Ms <= l.FetchP95Ms && l.FetchP95Ms <= l.FetchP99Ms) {
+		t.Errorf("fetch percentiles out of order: p50=%g p95=%g p99=%g", l.FetchP50Ms, l.FetchP95Ms, l.FetchP99Ms)
+	}
+	if !(l.StallP50Ms <= l.StallP95Ms && l.StallP95Ms <= l.StallP99Ms) {
+		t.Errorf("stall percentiles out of order: p50=%g p95=%g p99=%g", l.StallP50Ms, l.StallP95Ms, l.StallP99Ms)
+	}
+	if l.FetchMeanMs <= 0 {
+		t.Errorf("fetch mean %g must be positive", l.FetchMeanMs)
+	}
+
+	// Without an observer, Latency stays nil and results are unchanged.
+	bare, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: ppcsim.Forestall, Disks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Latency != nil {
+		t.Error("Result.Latency must be nil without an observer")
+	}
+	if bare.ElapsedSec != res.ElapsedSec || bare.Fetches != res.Fetches {
+		t.Errorf("observer changed the simulation: elapsed %g vs %g, fetches %d vs %d",
+			bare.ElapsedSec, res.ElapsedSec, bare.Fetches, res.Fetches)
+	}
+}
+
+// TestChromeTracerOutput: the exported JSON is a loadable trace-event
+// file with one thread row per disk plus the process row.
+func TestChromeTracerOutput(t *testing.T) {
+	tr, err := ppcsim.NewTrace("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := ppcsim.NewChromeTracer()
+	res, err := ppcsim.Run(ppcsim.Options{
+		Trace:     tr,
+		Algorithm: ppcsim.Aggressive,
+		Disks:     3,
+		Observer:  tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tracer.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var fetchSlices, stallSlices int64
+	threads := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		threads[e.Tid] = true
+		if e.Ph == "X" {
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Fatalf("slice %q has negative ts/dur (%g/%g)", e.Name, e.Ts, e.Dur)
+			}
+			if e.Tid == 0 {
+				stallSlices++
+			} else {
+				fetchSlices++
+			}
+		}
+	}
+	// tid 0 is the process; tids 1..3 are the disks.
+	for tid := 0; tid <= 3; tid++ {
+		if !threads[tid] {
+			t.Errorf("no events on thread %d", tid)
+		}
+	}
+	if fetchSlices != res.Fetches {
+		t.Errorf("%d fetch slices, want one per fetch (%d)", fetchSlices, res.Fetches)
+	}
+	if stallSlices != res.CacheMisses {
+		t.Errorf("%d stall slices, want one per miss (%d)", stallSlices, res.CacheMisses)
+	}
+}
+
+// TestRecorderSeries: the recorder's time series are well-formed —
+// monotone timestamps, utilization in [0,1], queue depths consistent
+// with the fetch count — and the CSV export carries every series.
+func TestRecorderSeries(t *testing.T) {
+	tr, err := ppcsim.NewTrace("xds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ppcsim.NewRecorder()
+	res, err := ppcsim.Run(ppcsim.Options{
+		Trace:     tr,
+		Algorithm: ppcsim.Forestall,
+		Disks:     2,
+		Observer:  rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.QueueDepth) != 2 || len(rec.Utilization) != 2 {
+		t.Fatalf("expected per-disk series for 2 disks, got %d/%d", len(rec.QueueDepth), len(rec.Utilization))
+	}
+	for d, series := range rec.Utilization {
+		for _, p := range series {
+			if p.V < 0 || p.V > 1+1e-9 {
+				t.Fatalf("disk %d utilization %g at t=%g out of [0,1]", d, p.V, p.TMs)
+			}
+		}
+	}
+	for d, series := range rec.QueueDepth {
+		last := -1.0
+		for _, p := range series {
+			if p.TMs < last {
+				t.Fatalf("disk %d queue-depth series not time-ordered", d)
+			}
+			last = p.TMs
+		}
+	}
+	if len(rec.CacheOccupancy) == 0 {
+		t.Error("no cache-occupancy samples")
+	}
+	if int64(len(rec.Evictions)) > res.Fetches {
+		t.Errorf("%d evictions exceed %d fetches", len(rec.Evictions), res.Fetches)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{"queue_depth", "utilization", "cache_used", "stall"} {
+		if !bytes.Contains(buf.Bytes(), []byte(series)) {
+			t.Errorf("CSV missing %q series; header+first lines:\n%.300s", series, out)
+		}
+	}
+}

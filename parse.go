@@ -1,0 +1,106 @@
+package ppcsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAlgorithm converts a user-supplied name (a CLI flag, a config
+// value) into an Algorithm, rejecting anything that Run would not
+// accept. Matching is case-insensitive and ignores surrounding space.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	name := Algorithm(strings.ToLower(strings.TrimSpace(s)))
+	for _, a := range Algorithms {
+		if name == a {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("ppcsim: unknown algorithm %q (valid: %s)", s, algorithmNames())
+}
+
+func algorithmNames() string {
+	names := make([]string, len(Algorithms))
+	for i, a := range Algorithms {
+		names[i] = string(a)
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseDiscipline converts a user-supplied scheduler name ("cscan" or
+// "fcfs", case-insensitive) into a Discipline.
+func ParseDiscipline(s string) (Discipline, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cscan":
+		return CSCAN, nil
+	case "fcfs":
+		return FCFS, nil
+	}
+	return CSCAN, fmt.Errorf("ppcsim: unknown disk scheduler %q (valid: cscan, fcfs)", s)
+}
+
+// ConfigError reports an invalid Options field. Run and Options.Validate
+// return it (wrapped in error) so callers can point users at the exact
+// field: errors.As(err, &cfgErr) then cfgErr.Field.
+type ConfigError struct {
+	// Field is the Options field name, e.g. "Disks".
+	Field string
+	// Reason says what is wrong with the value.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("ppcsim: invalid Options.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the Options for the errors Run would otherwise surface
+// mid-setup, returning a *ConfigError naming the offending field. Run
+// calls it first, so callers constructing Options programmatically can
+// validate early (e.g. at flag-parsing time) and get the same answer.
+func (o Options) Validate() error {
+	if o.Trace == nil {
+		return &ConfigError{Field: "Trace", Reason: "required (see NewTrace)"}
+	}
+	if err := o.Trace.Validate(); err != nil {
+		return &ConfigError{Field: "Trace", Reason: err.Error()}
+	}
+	if _, err := ParseAlgorithm(string(o.Algorithm)); err != nil {
+		reason := fmt.Sprintf("unknown algorithm %q (valid: %s)", o.Algorithm, algorithmNames())
+		if o.Algorithm == "" {
+			reason = "required (see Algorithms)"
+		}
+		return &ConfigError{Field: "Algorithm", Reason: reason}
+	}
+	if o.Disks < 0 {
+		return &ConfigError{Field: "Disks", Reason: fmt.Sprintf("must be non-negative, got %d", o.Disks)}
+	}
+	if o.CacheBlocks < 0 || o.CacheBlocks == 1 {
+		return &ConfigError{Field: "CacheBlocks", Reason: fmt.Sprintf("need at least 2 blocks (0 = trace default), got %d", o.CacheBlocks)}
+	}
+	if o.BatchSize < 0 {
+		return &ConfigError{Field: "BatchSize", Reason: fmt.Sprintf("must be non-negative, got %d", o.BatchSize)}
+	}
+	if o.Horizon < 0 {
+		return &ConfigError{Field: "Horizon", Reason: fmt.Sprintf("must be non-negative, got %d", o.Horizon)}
+	}
+	if o.FetchEstimate < 0 {
+		return &ConfigError{Field: "FetchEstimate", Reason: fmt.Sprintf("must be non-negative, got %g", o.FetchEstimate)}
+	}
+	if o.ForestallFixedF < 0 {
+		return &ConfigError{Field: "ForestallFixedF", Reason: fmt.Sprintf("must be non-negative, got %g", o.ForestallFixedF)}
+	}
+	if o.Hints != nil {
+		if o.Algorithm == ReverseAggressive {
+			return &ConfigError{Field: "Hints", Reason: "reverse aggressive is offline and requires full hints"}
+		}
+		if err := o.Hints.Validate(); err != nil {
+			return &ConfigError{Field: "Hints", Reason: err.Error()}
+		}
+	}
+	if o.DiskGeometry != nil {
+		if err := o.DiskGeometry.Validate(); err != nil {
+			return &ConfigError{Field: "DiskGeometry", Reason: err.Error()}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package ppcsim_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ppcsim"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ppcsim.Algorithm
+		wantErr bool
+	}{
+		{"demand", ppcsim.Demand, false},
+		{"fixed-horizon", ppcsim.FixedHorizon, false},
+		{"aggressive", ppcsim.Aggressive, false},
+		{"reverse-aggressive", ppcsim.ReverseAggressive, false},
+		{"forestall", ppcsim.Forestall, false},
+		{"demand-lru", ppcsim.DemandLRU, false},
+		{"Forestall", ppcsim.Forestall, false},
+		{"  AGGRESSIVE  ", ppcsim.Aggressive, false},
+		{"", "", true},
+		{"tip2", "", true},
+		{"fixed horizon", "", true},
+	}
+	for _, c := range cases {
+		got, err := ppcsim.ParseAlgorithm(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseAlgorithm(%q) = %q, want error", c.in, got)
+			} else if !strings.Contains(err.Error(), "forestall") {
+				t.Errorf("ParseAlgorithm(%q) error %q should list the valid names", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseAlgorithm(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDiscipline(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ppcsim.Discipline
+		wantErr bool
+	}{
+		{"cscan", ppcsim.CSCAN, false},
+		{"fcfs", ppcsim.FCFS, false},
+		{"CSCAN", ppcsim.CSCAN, false},
+		{" FCFS ", ppcsim.FCFS, false},
+		{"", 0, true},
+		{"sstf", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ppcsim.ParseDiscipline(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseDiscipline(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDiscipline(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseDiscipline(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestOptionsValidate exercises every rejection path and checks the
+// returned *ConfigError names the offending field.
+func TestOptionsValidate(t *testing.T) {
+	tr, err := ppcsim.NewTrace("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func() ppcsim.Options {
+		return ppcsim.Options{Trace: tr, Algorithm: ppcsim.Forestall}
+	}
+	cases := []struct {
+		name  string
+		opts  ppcsim.Options
+		field string // "" = expect valid
+	}{
+		{"valid minimal", ok(), ""},
+		{"valid full hints", func() ppcsim.Options {
+			o := ok()
+			o.Hints = &ppcsim.HintSpec{Fraction: 0.5, Accuracy: 0.9}
+			return o
+		}(), ""},
+		{"nil trace", ppcsim.Options{Algorithm: ppcsim.Demand}, "Trace"},
+		{"invalid trace", ppcsim.Options{Trace: &ppcsim.Trace{Name: "empty"}, Algorithm: ppcsim.Demand}, "Trace"},
+		{"missing algorithm", ppcsim.Options{Trace: tr}, "Algorithm"},
+		{"unknown algorithm", ppcsim.Options{Trace: tr, Algorithm: "tip2"}, "Algorithm"},
+		{"negative disks", func() ppcsim.Options {
+			o := ok()
+			o.Disks = -1
+			return o
+		}(), "Disks"},
+		{"one-block cache", func() ppcsim.Options {
+			o := ok()
+			o.CacheBlocks = 1
+			return o
+		}(), "CacheBlocks"},
+		{"negative cache", func() ppcsim.Options {
+			o := ok()
+			o.CacheBlocks = -5
+			return o
+		}(), "CacheBlocks"},
+		{"negative batch", func() ppcsim.Options {
+			o := ok()
+			o.BatchSize = -1
+			return o
+		}(), "BatchSize"},
+		{"negative horizon", func() ppcsim.Options {
+			o := ok()
+			o.Horizon = -1
+			return o
+		}(), "Horizon"},
+		{"negative fetch estimate", func() ppcsim.Options {
+			o := ok()
+			o.FetchEstimate = -2
+			return o
+		}(), "FetchEstimate"},
+		{"negative forestall F", func() ppcsim.Options {
+			o := ok()
+			o.ForestallFixedF = -0.5
+			return o
+		}(), "ForestallFixedF"},
+		{"hints with reverse aggressive", ppcsim.Options{
+			Trace: tr, Algorithm: ppcsim.ReverseAggressive,
+			Hints: &ppcsim.HintSpec{Fraction: 0.5, Accuracy: 1},
+		}, "Hints"},
+		{"bad hint fraction", func() ppcsim.Options {
+			o := ok()
+			o.Hints = &ppcsim.HintSpec{Fraction: 1.5, Accuracy: 1}
+			return o
+		}(), "Hints"},
+		{"bad geometry", func() ppcsim.Options {
+			o := ok()
+			g := ppcsim.HP97560Geometry()
+			g.RPM = 0
+			o.DiskGeometry = &g
+			return o
+		}(), "DiskGeometry"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.opts.Validate()
+			if c.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error on %s", c.field)
+			}
+			var cfgErr *ppcsim.ConfigError
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("Validate() = %v, want *ConfigError", err)
+			}
+			if cfgErr.Field != c.field {
+				t.Errorf("ConfigError.Field = %q, want %q (err: %v)", cfgErr.Field, c.field, err)
+			}
+			// Run must reject the same options with the same error shape.
+			if _, runErr := ppcsim.Run(c.opts); runErr == nil {
+				t.Error("Run accepted options Validate rejected")
+			} else if !errors.As(runErr, &cfgErr) {
+				t.Errorf("Run error %v is not a *ConfigError", runErr)
+			}
+		})
+	}
+}

@@ -137,6 +137,12 @@ type Options struct {
 	// fully hinted, the paper's setting). Reverse aggressive is offline
 	// and requires full hints; combining it with a HintSpec is an error.
 	Hints *HintSpec
+	// Observer, when non-nil, receives the run's event stream: every
+	// reference served, stall, fetch (with its service-time breakdown),
+	// eviction, and prefetch batch. nil costs nothing — the simulator
+	// skips all event construction. Combine observers with Tee; see
+	// Recorder, ChromeTracer, and StreamingStats for built-ins.
+	Observer Observer
 }
 
 // NewPolicy constructs the named algorithm with the given options.
@@ -163,13 +169,12 @@ func NewPolicy(opts Options) (engine.Policy, error) {
 	}
 }
 
-// Run executes one simulation and returns its metrics.
+// Run executes one simulation and returns its metrics. It validates the
+// options first (see Options.Validate); configuration errors are
+// *ConfigError values naming the offending field.
 func Run(opts Options) (Result, error) {
-	if opts.Trace == nil {
-		return Result{}, fmt.Errorf("ppcsim: Options.Trace is required")
-	}
-	if opts.Hints != nil && opts.Algorithm == ReverseAggressive {
-		return Result{}, fmt.Errorf("ppcsim: reverse aggressive is offline and requires full hints")
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
 	}
 	pol, err := NewPolicy(opts)
 	if err != nil {
@@ -188,15 +193,13 @@ func Run(opts Options) (Result, error) {
 		DriverOverheadMs: opts.DriverOverheadMs,
 		PlacementSeed:    opts.PlacementSeed,
 		Hints:            opts.Hints,
+		Observer:         opts.Observer,
 	}
 	if opts.SimpleDiskModel {
 		cfg.Model = func() disk.Model { return disk.NewSimple() }
 	}
 	if opts.DiskGeometry != nil {
-		g := *opts.DiskGeometry
-		if err := g.Validate(); err != nil {
-			return Result{}, err
-		}
+		g := *opts.DiskGeometry // already validated by Options.Validate
 		cfg.Model = func() disk.Model {
 			m, merr := disk.NewParametric(g)
 			if merr != nil {
@@ -208,20 +211,40 @@ func Run(opts Options) (Result, error) {
 	return engine.Run(cfg)
 }
 
+// ReverseAggressiveGrid is the parameter grid RunBestReverseAggressive
+// sweeps. The zero value selects the appendix-F sweep: fetch estimates
+// {2, 3, 4, 8, 16, 32, 64, 128} and batch sizes {4, 8, 16, 40, 80, 160}.
+type ReverseAggressiveGrid struct {
+	// Estimates are the fetch-time/compute-time ratios F to try.
+	Estimates []float64
+	// Batches are the batch sizes to try.
+	Batches []int
+}
+
+// ReverseAggressiveChoice is the (F, batch) pair that won a
+// RunBestReverseAggressive sweep.
+type ReverseAggressiveChoice struct {
+	FetchEstimate float64
+	BatchSize     int
+}
+
 // RunBestReverseAggressive runs reverse aggressive over a grid of fetch
-// estimates and batch sizes and returns the best-elapsed-time result, the
-// way the paper's baseline tables choose reverse aggressive's parameters
-// ("chosen to minimize its elapsed time"). Empty grids select the
-// appendix-F sweep values.
-func RunBestReverseAggressive(opts Options, estimates []float64, batches []int) (Result, error) {
+// estimates and batch sizes and returns the best-elapsed-time result and
+// the winning (F, batch) pair, the way the paper's baseline tables choose
+// reverse aggressive's parameters ("chosen to minimize its elapsed
+// time"). The zero grid selects the appendix-F sweep values.
+func RunBestReverseAggressive(opts Options, grid ReverseAggressiveGrid) (Result, ReverseAggressiveChoice, error) {
+	estimates := grid.Estimates
 	if len(estimates) == 0 {
 		estimates = []float64{2, 3, 4, 8, 16, 32, 64, 128}
 	}
+	batches := grid.Batches
 	if len(batches) == 0 {
 		batches = []int{4, 8, 16, 40, 80, 160}
 	}
 	opts.Algorithm = ReverseAggressive
 	var best Result
+	var choice ReverseAggressiveChoice
 	found := false
 	for _, f := range estimates {
 		for _, b := range batches {
@@ -230,12 +253,13 @@ func RunBestReverseAggressive(opts Options, estimates []float64, batches []int) 
 			o.BatchSize = b
 			r, err := Run(o)
 			if err != nil {
-				return Result{}, err
+				return Result{}, ReverseAggressiveChoice{}, err
 			}
 			if !found || r.ElapsedSec < best.ElapsedSec {
 				best, found = r, true
+				choice = ReverseAggressiveChoice{FetchEstimate: f, BatchSize: b}
 			}
 		}
 	}
-	return best, nil
+	return best, choice, nil
 }
