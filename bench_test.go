@@ -11,6 +11,7 @@ package ppcsim_test
 // See DESIGN.md section 5 for the experiment index.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -256,6 +257,54 @@ func BenchmarkAppendixGHorizon(b *testing.B) {
 func BenchmarkAppendixHForestallFixed(b *testing.B) {
 	tr := benchTrace(b, "cscope2")
 	benchRun(b, ppcsim.Options{Trace: tr, Algorithm: ppcsim.Forestall, Disks: 2, ForestallFixedF: 30})
+}
+
+// --- Hot-path benchmarks ---
+//
+// One benchmark per (policy, disk count) on the full synthetic
+// 100k-reference trace, reporting refs/sec alongside ns/op and allocs/op.
+// These are the regression surface for the simulator's hot path;
+// `go run ./cmd/ppc-bench` runs the same grid and emits BENCH_<n>.json.
+
+func benchTraceFull(b *testing.B, name string) *ppcsim.Trace {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	key := name + "/full"
+	if tr, ok := benchTraces[key]; ok {
+		return tr
+	}
+	tr, err := ppcsim.NewTrace(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[key] = tr
+	return tr
+}
+
+// HotPathGrid is the benchmark grid shared with cmd/ppc-bench.
+var (
+	hotPathAlgs  = []ppcsim.Algorithm{ppcsim.Demand, ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall}
+	hotPathDisks = []int{1, 2, 4, 8, 16}
+)
+
+// BenchmarkHotPath runs every hot-path grid point on the full synth trace.
+func BenchmarkHotPath(b *testing.B) {
+	tr := benchTraceFull(b, "synth")
+	refs := float64(len(tr.Refs))
+	for _, alg := range hotPathAlgs {
+		for _, d := range hotPathDisks {
+			b.Run(fmt.Sprintf("%s/%dd", alg, d), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: d}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(refs*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+			})
+		}
+	}
 }
 
 // --- Extension benchmarks (beyond the paper's artifacts) ---

@@ -1,0 +1,181 @@
+// Command ppc-bench runs the simulator's hot-path benchmark grid — the
+// same (policy, disk count) grid as BenchmarkHotPath in bench_test.go —
+// on the full synthetic trace and writes the results as BENCH_<n>.json
+// (ns/op, allocs/op, refs/sec per grid point).
+//
+// Usage:
+//
+//	go run ./cmd/ppc-bench                      # writes BENCH_<n>.json
+//	go run ./cmd/ppc-bench -benchtime 10x -best 3
+//	go run ./cmd/ppc-bench -baseline BENCH_1.json -o BENCH_2.json
+//
+// With -baseline, each result also reports the baseline's refs/sec and
+// the speedup against it, so a checked-in BENCH file doubles as a
+// regression record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ppcsim"
+)
+
+// benchPoint is one grid point's measurement.
+type benchPoint struct {
+	Policy      string  `json:"policy"`
+	Disks       int     `json:"disks"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RefsPerSec  float64 `json:"refs_per_sec"`
+
+	// Populated only when -baseline is given.
+	BaselineRefsPerSec float64 `json:"baseline_refs_per_sec,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
+}
+
+// benchFile is the BENCH_<n>.json document.
+type benchFile struct {
+	Trace      string       `json:"trace"`
+	Refs       int          `json:"refs"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Baseline   string       `json:"baseline,omitempty"`
+	Results    []benchPoint `json:"results"`
+}
+
+// grid mirrors bench_test.go's hot-path grid.
+var (
+	gridAlgs  = []ppcsim.Algorithm{ppcsim.Demand, ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall}
+	gridDisks = []int{1, 2, 4, 8, 16}
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "synth", "trace to benchmark")
+		benchtime = flag.String("benchtime", "", "per-point benchmark time (e.g. 2s or 10x; default 1s)")
+		baseline  = flag.String("baseline", "", "prior BENCH_<n>.json to compute speedups against")
+		out       = flag.String("o", "", "output file (default: next unused BENCH_<n>.json)")
+		best      = flag.Int("best", 1, "measure each grid point N times and keep the fastest (noise rejection)")
+	)
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(err)
+		}
+	}
+
+	tr, err := ppcsim.NewTrace(*traceName)
+	if err != nil {
+		fatal(err)
+	}
+	refs := len(tr.Refs)
+
+	var base map[string]float64 // "policy/disks" -> refs/sec
+	doc := benchFile{
+		Trace:      *traceName,
+		Refs:       refs,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if *baseline != "" {
+		base, err = loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Baseline = *baseline
+	}
+
+	for _, alg := range gridAlgs {
+		for _, d := range gridDisks {
+			alg, d := alg, d
+			var pt benchPoint
+			// System noise only ever slows a run down, so the fastest of
+			// -best repeats is the least-perturbed measurement.
+			for rep := 0; rep < *best || rep == 0; rep++ {
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: d}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				rps := float64(refs) * float64(res.N) / res.T.Seconds()
+				if rep == 0 || rps > pt.RefsPerSec {
+					pt = benchPoint{
+						Policy:      string(alg),
+						Disks:       d,
+						Iterations:  res.N,
+						NsPerOp:     res.NsPerOp(),
+						AllocsPerOp: res.AllocsPerOp(),
+						BytesPerOp:  res.AllocedBytesPerOp(),
+						RefsPerSec:  rps,
+					}
+				}
+			}
+			if b, ok := base[fmt.Sprintf("%s/%d", alg, d)]; ok && b > 0 {
+				pt.BaselineRefsPerSec = b
+				pt.Speedup = pt.RefsPerSec / b
+			}
+			doc.Results = append(doc.Results, pt)
+			fmt.Fprintf(os.Stderr, "%-14s %2dd  %12d ns/op  %7d allocs/op  %11.0f refs/s", alg, d, pt.NsPerOp, pt.AllocsPerOp, pt.RefsPerSec)
+			if pt.Speedup > 0 {
+				fmt.Fprintf(os.Stderr, "  %5.2fx", pt.Speedup)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = nextBenchFile()
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(path)
+}
+
+// loadBaseline reads a prior BENCH file into a grid-point lookup.
+func loadBaseline(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]float64, len(doc.Results))
+	for _, r := range doc.Results {
+		m[fmt.Sprintf("%s/%d", r.Policy, r.Disks)] = r.RefsPerSec
+	}
+	return m, nil
+}
+
+// nextBenchFile returns the first unused BENCH_<n>.json name.
+func nextBenchFile() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppc-bench:", err)
+	os.Exit(1)
+}

@@ -10,7 +10,6 @@
 package cache
 
 import (
-	"container/heap"
 	"fmt"
 
 	"ppcsim/internal/future"
@@ -144,7 +143,7 @@ func (c *Cache) CompleteFetch(b layout.BlockID) {
 		panic(fmt.Sprintf("cache: completing fetch of block %d in state %d", b, c.st[b]))
 	}
 	c.st[b] = present
-	heap.Push(&c.h, entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+	c.h.push(entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
 }
 
 // Drop evicts a present block without starting a fetch (frees its buffer).
@@ -166,7 +165,7 @@ func (c *Cache) Drop(b layout.BlockID) error {
 // block b, so the eviction heap learns b's new next-use position.
 func (c *Cache) Touched(b layout.BlockID) {
 	if c.st[b] == present {
-		heap.Push(&c.h, entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+		c.h.push(entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
 	}
 }
 
@@ -175,10 +174,10 @@ func (c *Cache) Touched(b layout.BlockID) {
 // never referenced again). It returns NoBlock if nothing is evictable.
 // Stale heap entries are discarded as they surface.
 func (c *Cache) FurthestEvictable() (layout.BlockID, int) {
-	for c.h.Len() > 0 {
-		top := c.h.peek()
+	for len(c.h) > 0 {
+		top := c.h[0]
 		if c.st[top.block] != present || int(top.nextUse) != c.oracle.NextUse(top.block) {
-			heap.Pop(&c.h)
+			c.h.pop()
 			continue
 		}
 		return top.block, int(top.nextUse)
@@ -192,18 +191,62 @@ type entry struct {
 	nextUse int32
 }
 
-// evictHeap is a max-heap on nextUse.
+// evictHeap is a max-heap on nextUse, hand-rolled so pushes stay on the
+// hot path without the interface boxing of container/heap (one heap push
+// per served reference adds up to an allocation per reference). The sift
+// routines move a hole instead of swapping, but the comparison sequence
+// and resulting array layout match container/heap element for element —
+// the layout decides which of several equal-key blocks surfaces first,
+// so it must not drift from the reference implementation.
 type evictHeap []entry
 
-func (h evictHeap) Len() int            { return len(h) }
-func (h evictHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
-func (h evictHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *evictHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
-func (h *evictHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// less orders i before j when i's next use is further in the future.
+func (h evictHeap) less(i, j int) bool { return h[i].nextUse > h[j].nextUse }
+
+// push adds e and restores the heap invariant (container/heap.Push).
+func (h *evictHeap) push(e entry) {
+	s := append(*h, e)
+	*h = s
+	// Sift up from the new leaf: shift ancestors smaller than e down a
+	// level until e's slot (container/heap's up(), with e in a register).
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if e.nextUse <= s[i].nextUse {
+			break
+		}
+		s[j] = s[i]
+		j = i
+	}
+	s[j] = e
 }
-func (h evictHeap) peek() entry { return h[0] }
+
+// pop removes and returns the top entry (container/heap.Pop).
+func (h *evictHeap) pop() entry {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	// container/heap swaps the last leaf to the root and sifts it down
+	// over s[:n]; holding that leaf in v and shifting the larger child up
+	// each level lands every element in the identical slot.
+	v := s[n]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && s[j2].nextUse > s[j1].nextUse {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if s[j].nextUse <= v.nextUse {
+			break
+		}
+		s[i] = s[j]
+		i = j
+	}
+	s[i] = v
+	*h = s[:n]
+	return top
+}

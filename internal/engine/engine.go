@@ -183,8 +183,34 @@ type State struct {
 	driverMs  float64
 	overhead  float64
 	fetches   int64
-	inFlight  map[layout.BlockID]int // block -> disk, for stall lookups
-	issueErr  error
+	// In-flight fetch tracking for stall lookups: per block the disk
+	// holding its outstanding fetch plus one (0 = none), and the count of
+	// outstanding fetches. A flat slice instead of a map keeps the
+	// per-fetch bookkeeping allocation free.
+	inFlightDisk []int32
+	inFlightN    int
+	issueErr     error
+
+	// busyEnds mirrors each drive's in-service completion time (+Inf when
+	// idle) in one contiguous slice, refreshed after every enqueue and
+	// completion. The run loop's next-completion lookup and the policies'
+	// free-disk tests read it instead of chasing per-drive pointers.
+	// minBusyIdx/minBusyEnd cache the scan the run loop used to do every
+	// iteration: the earliest completion, lowest disk index first on
+	// ties (-1/+Inf when every drive is idle).
+	busyEnds   []float64
+	minBusyIdx int
+	minBusyEnd float64
+	idleDrives int
+
+	// reqFree recycles disk.Request values: a request retires when its
+	// drive completes it, so the engine reuses it for a later fetch
+	// instead of allocating one per disk access.
+	reqFree []*disk.Request
+
+	// dindex is the lazily-built per-disk position index shared by the
+	// policies (see DiskIndex).
+	dindex *future.DiskIndex
 
 	// Observability. obs is nil for unobserved runs; every emission
 	// point is behind a nil check. batchIssued counts the fetches issued
@@ -216,6 +242,88 @@ func (s *State) Len() int { return len(s.Refs) }
 // DiskOf returns the disk holding block b.
 func (s *State) DiskOf(b layout.BlockID) int { return s.Layout.Lookup(b).Disk }
 
+// DriveFree reports whether drive i has no request outstanding. It is
+// equivalent to Drives[i].Outstanding() == 0 but reads the contiguous
+// busy-end mirror, so per-disk polling loops stay cheap.
+func (s *State) DriveFree(i int) bool { return s.busyEnds[i] > math.MaxFloat64 }
+
+// AnyDriveFree reports whether at least one drive has no request
+// outstanding, without scanning the array.
+func (s *State) AnyDriveFree() bool { return s.idleDrives > 0 }
+
+// refreshDrive re-mirrors drive i's completion time after an enqueue or
+// completion changed its service state, and maintains the cached
+// earliest-completion minimum.
+func (s *State) refreshDrive(i int) {
+	be := math.Inf(1)
+	if d := s.Drives[i]; d.Busy() {
+		be = d.BusyEnd()
+	}
+	if wasIdle, isIdle := s.busyEnds[i] > math.MaxFloat64, be > math.MaxFloat64; wasIdle != isIdle {
+		if isIdle {
+			s.idleDrives++
+		} else {
+			s.idleDrives--
+		}
+	}
+	s.busyEnds[i] = be
+	switch {
+	case i == s.minBusyIdx:
+		// The minimum itself moved (completion started a queued request,
+		// or the drive went idle); rescan.
+		s.rescanBusy()
+	case be < s.minBusyEnd || (be == s.minBusyEnd && i < s.minBusyIdx):
+		// A linear scan would now stop at i first.
+		s.minBusyIdx, s.minBusyEnd = i, be
+	}
+}
+
+// rescanBusy recomputes the earliest completion: the first drive with a
+// strictly smaller busy end wins, matching a left-to-right linear scan.
+func (s *State) rescanBusy() {
+	s.minBusyIdx, s.minBusyEnd = -1, math.Inf(1)
+	for i, be := range s.busyEnds {
+		if be < s.minBusyEnd {
+			s.minBusyIdx, s.minBusyEnd = i, be
+		}
+	}
+}
+
+// DiskIndex returns the per-disk index of the disclosed reference
+// sequence, building it on first use. Positions referencing the phantom
+// block (undisclosed hints, write-behind updates) are excluded — the
+// phantom is pinned present and has no placement.
+func (s *State) DiskIndex() *future.DiskIndex {
+	if s.dindex == nil {
+		n := layout.BlockID(s.Layout.NumBlocks())
+		s.dindex = future.NewDiskIndex(s.Refs, len(s.Drives), func(b layout.BlockID) int {
+			if b >= n {
+				return -1 // phantom
+			}
+			return s.Layout.Lookup(b).Disk
+		})
+	}
+	return s.dindex
+}
+
+// newRequest returns a zeroed request, reusing a retired one when
+// available.
+func (s *State) newRequest() *disk.Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		*r = disk.Request{}
+		return r
+	}
+	return &disk.Request{}
+}
+
+// recycleRequest returns a completed request to the free list. The caller
+// must not touch r afterwards.
+func (s *State) recycleRequest(r *disk.Request) {
+	s.reqFree = append(s.reqFree, r)
+}
+
 // ComputeMs returns the inter-reference CPU time that precedes reference i.
 func (s *State) ComputeMs(i int) float64 { return s.compute[i] }
 
@@ -245,8 +353,12 @@ func (s *State) Issue(b, victim layout.BlockID) {
 		return
 	}
 	pl := s.Layout.Lookup(b)
-	s.Drives[pl.Disk].Enqueue(&disk.Request{Block: b, LBN: pl.LBN}, s.now)
-	s.inFlight[b] = pl.Disk
+	req := s.newRequest()
+	req.Block, req.LBN = b, pl.LBN
+	s.Drives[pl.Disk].Enqueue(req, s.now)
+	s.refreshDrive(pl.Disk)
+	s.inFlightDisk[b] = int32(pl.Disk) + 1
+	s.inFlightN++
 	s.fetches++
 	s.driverMs += s.overhead
 	if !s.stalled {
@@ -310,8 +422,13 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Trace == nil {
 		return Result{}, fmt.Errorf("engine: nil trace")
 	}
-	if err := cfg.Trace.Validate(); err != nil {
-		return Result{}, fmt.Errorf("engine: %w", err)
+	// A zero-length trace is a valid degenerate run (nothing happens, all
+	// metrics are zero); Validate rejects it only as a guard for the
+	// public API, which screens options before reaching the engine.
+	if len(cfg.Trace.Refs) > 0 {
+		if err := cfg.Trace.Validate(); err != nil {
+			return Result{}, fmt.Errorf("engine: %w", err)
+		}
 	}
 	if cfg.Policy == nil {
 		return Result{}, fmt.Errorf("engine: nil policy")
@@ -385,7 +502,19 @@ func Run(cfg Config) (Result, error) {
 				case rng.Float64() >= cfg.Hints.Fraction:
 					disclosed[i] = phantom
 				case rng.Float64() >= cfg.Hints.Accuracy:
-					disclosed[i] = layout.BlockID(rng.Intn(nBlocks))
+					// An inaccurate hint must name a wrong block: draw from
+					// the other nBlocks-1 blocks and shift past the true one
+					// (a plain Intn(nBlocks) would be correct by accident
+					// 1/nBlocks of the time, skewing the realized accuracy).
+					if nBlocks > 1 {
+						w := rng.Intn(nBlocks - 1)
+						if w >= int(b) {
+							w++
+						}
+						disclosed[i] = layout.BlockID(w)
+					} else {
+						disclosed[i] = phantom
+					}
 				default:
 					disclosed[i] = b
 				}
@@ -406,18 +535,24 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	s := &State{
-		Refs:     disclosed,
-		trueRefs: refs,
-		isWrite:  isWrite,
-		Layout:   lay,
-		Oracle:   oracle,
-		Cache:    c,
-		Drives:   drives,
-		compute:  compute,
-		overhead: overhead,
-		inFlight: make(map[layout.BlockID]int),
-		obs:      cfg.Observer,
+		Refs:         disclosed,
+		trueRefs:     refs,
+		isWrite:      isWrite,
+		Layout:       lay,
+		Oracle:       oracle,
+		Cache:        c,
+		Drives:       drives,
+		compute:      compute,
+		overhead:     overhead,
+		inFlightDisk: make([]int32, blockSpace),
+		obs:          cfg.Observer,
 	}
+	s.busyEnds = make([]float64, cfg.Disks)
+	for i := range s.busyEnds {
+		s.busyEnds[i] = math.Inf(1)
+	}
+	s.minBusyIdx, s.minBusyEnd = -1, math.Inf(1)
+	s.idleDrives = cfg.Disks
 	if s.obs != nil {
 		s.batchIssued = make([]int, cfg.Disks)
 		s.breakdowns = make(map[*disk.Request]disk.Breakdown)
@@ -467,22 +602,19 @@ func Run(cfg Config) (Result, error) {
 		totalCompute += ct
 	}
 
-	// The process is about to start computing toward reference 0.
-	s.processAt = compute[0]
-	pol.Poll()
-	if s.issueErr != nil {
-		return Result{}, s.issueErr
-	}
-
 	n := len(refs)
-	for cursor := 0; cursor < n; {
-		// Next disk completion, if any.
-		nextDisk, diskAt := -1, math.Inf(1)
-		for i, d := range drives {
-			if d.Busy() && d.BusyEnd() < diskAt {
-				nextDisk, diskAt = i, d.BusyEnd()
-			}
+	if n > 0 {
+		// The process is about to start computing toward reference 0.
+		s.processAt = compute[0]
+		pol.Poll()
+		if s.issueErr != nil {
+			return Result{}, s.issueErr
 		}
+	}
+	for cursor := 0; cursor < n; {
+		// Next disk completion, if any (maintained incrementally by
+		// refreshDrive; idle drives never surface).
+		nextDisk, diskAt := s.minBusyIdx, s.minBusyEnd
 
 		b := refs[cursor]
 
@@ -493,7 +625,10 @@ func Run(cfg Config) (Result, error) {
 				// Write behind: enqueue the update and continue without
 				// stalling (the paper's motivation for ignoring writes).
 				pl := s.Layout.Lookup(b)
-				s.Drives[pl.Disk].Enqueue(&disk.Request{Block: b, LBN: pl.LBN, Write: true}, s.now)
+				req := s.newRequest()
+				req.Block, req.LBN, req.Write = b, pl.LBN, true
+				s.Drives[pl.Disk].Enqueue(req, s.now)
+				s.refreshDrive(pl.Disk)
 				s.writes++
 				s.driverMs += s.overhead
 				if s.obs != nil {
@@ -548,12 +683,14 @@ func Run(cfg Config) (Result, error) {
 		// Advance to the disk completion.
 		s.now = diskAt
 		req := drives[nextDisk].Complete(s.now)
+		s.refreshDrive(nextDisk)
 		if s.obs != nil {
 			emitFetchCompleted(s, req, nextDisk)
 		}
 		if req.Write {
 			// Write-behind completion: no cache state changes; just give
 			// the policy a decision point.
+			s.recycleRequest(req)
 			pol.Poll()
 			if s.issueErr != nil {
 				return Result{}, s.issueErr
@@ -565,13 +702,19 @@ func Run(cfg Config) (Result, error) {
 			}
 			continue
 		}
-		s.Cache.CompleteFetch(req.Block)
-		delete(s.inFlight, req.Block)
+		// The request retires here; copy what the rest of the iteration
+		// needs before recycling it.
+		fetched := req.Block
+		serviceMs := req.ServiceMs
+		s.recycleRequest(req)
+		s.Cache.CompleteFetch(fetched)
+		s.inFlightDisk[fetched] = 0
+		s.inFlightN--
 		if s.OnComplete != nil {
-			s.OnComplete(nextDisk, req.ServiceMs)
+			s.OnComplete(nextDisk, serviceMs)
 		}
 
-		if s.stalled && req.Block == b && !isWrite[cursor] {
+		if s.stalled && fetched == b && !isWrite[cursor] {
 			// Stall ends: the process consumes the reference now.
 			s.stalled = false
 			s.afterMiss = true
@@ -708,7 +851,7 @@ func emitFetchCompleted(s *State, req *disk.Request, d int) {
 // fetch; in that case the engine retries after the next disk completion.
 // It is an error only if no fetch is in flight anywhere (deadlock).
 func ensureStallFetch(s *State, p Policy, b layout.BlockID, cursor int) error {
-	if _, flying := s.inFlight[b]; flying {
+	if s.inFlightDisk[b] != 0 {
 		return nil
 	}
 	if !s.Cache.Absent(b) {
@@ -718,10 +861,10 @@ func ensureStallFetch(s *State, p Policy, b layout.BlockID, cursor int) error {
 	if s.issueErr != nil {
 		return s.issueErr
 	}
-	if _, flying := s.inFlight[b]; flying {
+	if s.inFlightDisk[b] != 0 {
 		return nil
 	}
-	if len(s.inFlight) == 0 {
+	if s.inFlightN == 0 {
 		return fmt.Errorf("engine: policy %s did not fetch stalled block %d at position %d",
 			p.Name(), b, cursor)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -265,5 +266,54 @@ func TestResultString(t *testing.T) {
 	}
 	if s := res.String(); s == "" {
 		t.Error("empty String()")
+	}
+}
+
+// assertFiniteFloats walks v (a struct value) and fails on any float64
+// field that is NaN or infinite, recursing into nested structs/slices.
+func assertFiniteFloats(t *testing.T, path string, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Float64:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("%s = %v, want finite", path, f)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			assertFiniteFloats(t, path+"."+v.Type().Field(i).Name, v.Field(i))
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			assertFiniteFloats(t, fmt.Sprintf("%s[%d]", path, i), v.Index(i))
+		}
+	case reflect.Pointer:
+		if !v.IsNil() {
+			assertFiniteFloats(t, path, v.Elem())
+		}
+	}
+}
+
+// TestZeroLengthTraceFiniteMetrics pins the degenerate empty-trace run:
+// no elapsed time and no fetches must not turn the derived averages
+// (utilization, response, fetch time) into NaN via 0/0.
+func TestZeroLengthTraceFiniteMetrics(t *testing.T) {
+	tr := mkTrace(4, 1.0) // no references at all
+	tr.CacheBlocks = 2
+	res, err := Run(Config{Trace: tr, Policy: &demandPolicy{}, Disks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFiniteFloats(t, "Result", reflect.ValueOf(res))
+	if res.ElapsedSec != 0 || res.Fetches != 0 || res.CacheHits != 0 {
+		t.Errorf("empty trace produced work: %+v", res)
+	}
+	if len(res.PerDisk) != 3 {
+		t.Fatalf("PerDisk has %d entries, want 3", len(res.PerDisk))
+	}
+	for i, d := range res.PerDisk {
+		if d.Fetches != 0 || d.Utilization != 0 {
+			t.Errorf("disk %d did work on an empty trace: %+v", i, d)
+		}
 	}
 }

@@ -130,6 +130,93 @@ func TestPerDiskConsistency(t *testing.T) {
 	}
 }
 
+// disclosedSpy captures the disclosed reference stream the engine hands
+// to policies.
+type disclosedSpy struct {
+	demandPolicy
+	refs []layout.BlockID
+}
+
+func (p *disclosedSpy) Attach(s *State) {
+	p.s = s
+	p.refs = append([]layout.BlockID(nil), s.Refs...)
+}
+func (p *disclosedSpy) Name() string { return "disclosed-spy" }
+
+// TestHintCorruptionRate pins the realized corruption rate to 1-Accuracy.
+// With full disclosure every position where the disclosed block differs
+// from the true block is a corrupted hint; a corrupted hint must never
+// accidentally name the true block, or the realized rate drops by a
+// factor of 1/nBlocks (the regression: with 4 blocks the buggy draw
+// yields 0.75*(1-Accuracy) instead of 1-Accuracy).
+func TestHintCorruptionRate(t *testing.T) {
+	const (
+		nBlocks  = 4
+		nRefs    = 20000
+		accuracy = 0.7
+	)
+	tr := mkTrace(nBlocks, 0.1)
+	for i := 0; i < nRefs; i++ {
+		tr.Refs = append(tr.Refs, trace.Ref{Block: layout.BlockID(i % nBlocks), ComputeMs: 0.1})
+	}
+	tr.CacheBlocks = 2
+	spy := &disclosedSpy{}
+	if _, err := Run(Config{
+		Trace:  tr,
+		Policy: spy,
+		Disks:  1,
+		Hints:  &HintSpec{Fraction: 1, Accuracy: accuracy, Seed: 11},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(spy.refs) != nRefs {
+		t.Fatalf("spy saw %d refs, want %d", len(spy.refs), nRefs)
+	}
+	phantom := layout.BlockID(nBlocks)
+	corrupted := 0
+	for i, b := range spy.refs {
+		if b == phantom {
+			t.Fatalf("position %d disclosed the phantom with Fraction=1", i)
+		}
+		if b != tr.Refs[i].Block {
+			corrupted++
+		}
+	}
+	rate := float64(corrupted) / nRefs
+	want := 1 - accuracy
+	// Binomial noise at n=20000 is ~0.003; the old bug shifts the rate by
+	// (1-accuracy)/nBlocks = 0.075, far outside this tolerance.
+	if diff := rate - want; diff < -0.02 || diff > 0.02 {
+		t.Errorf("corruption rate %.4f, want %.2f +/- 0.02", rate, want)
+	}
+}
+
+// TestHintCorruptionSingleBlock covers the degenerate one-block trace:
+// there is no wrong block to disclose, so a corrupted hint falls back to
+// the phantom (equivalent to not disclosing the reference).
+func TestHintCorruptionSingleBlock(t *testing.T) {
+	tr := mkTrace(1, 0.1)
+	for i := 0; i < 100; i++ {
+		tr.Refs = append(tr.Refs, trace.Ref{Block: 0, ComputeMs: 0.1})
+	}
+	tr.CacheBlocks = 2
+	spy := &disclosedSpy{}
+	if _, err := Run(Config{
+		Trace:  tr,
+		Policy: spy,
+		Disks:  1,
+		Hints:  &HintSpec{Fraction: 1, Accuracy: 0, Seed: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	phantom := layout.BlockID(1)
+	for i, b := range spy.refs {
+		if b != phantom {
+			t.Fatalf("position %d disclosed %d; a fully inaccurate single-block hint must disclose the phantom", i, b)
+		}
+	}
+}
+
 func TestHintSpecValidateDirect(t *testing.T) {
 	good := HintSpec{Fraction: 0.5, Accuracy: 0.5}
 	if err := good.Validate(); err != nil {

@@ -1,0 +1,75 @@
+package future
+
+import "ppcsim/internal/layout"
+
+// DiskIndex groups the positions of a reference sequence by the disk
+// holding each referenced block. The paper's multi-disk policies
+// repeatedly need "the first missing block on disk d at or after the
+// cursor"; scanning only that disk's positions turns a window walk that
+// touches every reference (and a placement lookup per reference) into a
+// walk over the 1/D fraction that can possibly match.
+//
+// The index is immutable after construction: positions are grouped into
+// one CSR-style backing array exactly like the Oracle's next-reference
+// queues. Callers keep their own cursors into the per-disk lists (see
+// Positions and LowerBound).
+type DiskIndex struct {
+	pos   []int32 // reference positions grouped by disk, ascending
+	start []int32 // per disk d: its positions are pos[start[d]:start[d+1]]
+}
+
+// NewDiskIndex builds the index for the given reference sequence.
+// diskOf maps a block to its disk, or a negative value for blocks that
+// have no placement and can never be missing (the engine's phantom
+// block); such positions are excluded from the index.
+func NewDiskIndex(refs []layout.BlockID, disks int, diskOf func(layout.BlockID) int) *DiskIndex {
+	x := &DiskIndex{start: make([]int32, disks+1)}
+	counts := make([]int32, disks)
+	n := 0
+	for _, b := range refs {
+		if d := diskOf(b); d >= 0 {
+			counts[d]++
+			n++
+		}
+	}
+	x.pos = make([]int32, n)
+	sum := int32(0)
+	for d, c := range counts {
+		x.start[d] = sum
+		sum += c
+	}
+	x.start[disks] = sum
+	copy(counts, x.start[:disks])
+	for i, b := range refs {
+		if d := diskOf(b); d >= 0 {
+			x.pos[counts[d]] = int32(i)
+			counts[d]++
+		}
+	}
+	return x
+}
+
+// Disks returns the number of disks the index covers.
+func (x *DiskIndex) Disks() int { return len(x.start) - 1 }
+
+// Positions returns disk d's reference positions in ascending order.
+// The slice aliases the index; callers must not modify it.
+func (x *DiskIndex) Positions(d int) []int32 {
+	return x.pos[x.start[d]:x.start[d+1]]
+}
+
+// LowerBound returns the index of the first position >= p in
+// Positions(d) (== len(Positions(d)) if none).
+func (x *DiskIndex) LowerBound(d, p int) int {
+	ps := x.Positions(d)
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(ps[mid]) < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

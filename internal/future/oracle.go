@@ -15,10 +15,19 @@ import (
 const Never = math.MaxInt32
 
 // Oracle answers next-reference queries over a fixed request sequence.
+//
+// The per-block occurrence lists are stored in one CSR-style backing
+// array: block b's reference positions are pos[start[b]:start[b+1]],
+// ascending. A per-block pointer into that array (the "next-reference
+// queue" head) advances as the cursor consumes references, so NextUse is
+// a two-load O(1) query and building the oracle performs a constant
+// number of allocations regardless of the block-space size.
 type Oracle struct {
-	refs   []layout.BlockID
-	occ    [][]int32 // per block: sorted positions of its references
-	ptr    []int32   // per block: index into occ of first position >= cursor
+	refs  []layout.BlockID
+	pos   []int32 // all reference positions, grouped by block, ascending
+	start []int32 // per block b: its positions are pos[start[b]:start[b+1]]
+	ptr   []int32 // per block: index into pos of first position >= cursor
+
 	cursor int
 }
 
@@ -27,19 +36,27 @@ type Oracle struct {
 // reference).
 func New(refs []layout.BlockID, nBlocks int) *Oracle {
 	o := &Oracle{
-		refs: refs,
-		occ:  make([][]int32, nBlocks),
-		ptr:  make([]int32, nBlocks),
+		refs:  refs,
+		pos:   make([]int32, len(refs)),
+		start: make([]int32, nBlocks+1),
+		ptr:   make([]int32, nBlocks),
 	}
 	counts := make([]int32, nBlocks)
 	for _, b := range refs {
 		counts[b]++
 	}
-	for b := range o.occ {
-		o.occ[b] = make([]int32, 0, counts[b])
+	sum := int32(0)
+	for b, n := range counts {
+		o.start[b] = sum
+		o.ptr[b] = sum
+		sum += n
 	}
+	o.start[nBlocks] = sum
+	// Reuse counts as per-block fill cursors.
+	copy(counts, o.start[:nBlocks])
 	for i, b := range refs {
-		o.occ[b] = append(o.occ[b], int32(i))
+		o.pos[counts[b]] = int32(i)
+		counts[b]++
 	}
 	return o
 }
@@ -64,7 +81,7 @@ func (o *Oracle) Advance(c int) {
 		b := o.refs[o.cursor]
 		// The cursor is consuming position o.cursor; move b's pointer past
 		// it.
-		if p := o.ptr[b]; int(o.occ[b][p]) == o.cursor {
+		if p := o.ptr[b]; int(o.pos[p]) == o.cursor {
 			o.ptr[b] = p + 1
 		}
 	}
@@ -76,28 +93,27 @@ func (o *Oracle) Advance(c int) {
 // terms of.
 func (o *Oracle) NextUse(b layout.BlockID) int {
 	p := o.ptr[b]
-	if int(p) >= len(o.occ[b]) {
+	if p >= o.start[b+1] {
 		return Never
 	}
-	return int(o.occ[b][p])
+	return int(o.pos[p])
 }
 
 // NextUseAfter returns the first position >= pos (with pos >= cursor) at
 // which b is referenced, or Never. Reverse aggressive's schedule
 // construction uses this to compute release times.
 func (o *Oracle) NextUseAfter(b layout.BlockID, pos int) int {
-	occ := o.occ[b]
-	lo, hi := int(o.ptr[b]), len(occ)
+	lo, hi := int(o.ptr[b]), int(o.start[b+1])
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if int(occ[mid]) < pos {
+		if int(o.pos[mid]) < pos {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo >= len(occ) {
+	if lo >= int(o.start[b+1]) {
 		return Never
 	}
-	return int(occ[lo])
+	return int(o.pos[lo])
 }

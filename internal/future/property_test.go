@@ -1,0 +1,94 @@
+package future
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppcsim/internal/layout"
+)
+
+// naiveFirstMissing is the per-disk linear window scan the disk index
+// replaced: first position in [c, limit) on disk d whose block is absent.
+func naiveFirstMissing(refs []layout.BlockID, diskOf func(layout.BlockID) int, absent []bool, d, c, limit int) int {
+	for p := c; p < limit; p++ {
+		if diskOf(refs[p]) == d && absent[refs[p]] {
+			return p
+		}
+	}
+	return limit
+}
+
+// TestDiskIndexMatchesNaiveScan checks that walking a disk's position
+// list from its lower bound finds exactly the first missing position the
+// full window scan would, over random traces, disk mappings, and
+// presence sets — including blocks the mapping excludes (diskOf < 0,
+// the engine's phantom).
+func TestDiskIndexMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		nBlocks := 2 + rng.Intn(30)
+		disks := 1 + rng.Intn(6)
+		n := rng.Intn(400)
+		refs := make([]layout.BlockID, n)
+		for i := range refs {
+			refs[i] = layout.BlockID(rng.Intn(nBlocks))
+		}
+		// The highest block id is excluded, as the engine excludes the
+		// phantom.
+		diskOf := func(b layout.BlockID) int {
+			if int(b) == nBlocks-1 {
+				return -1
+			}
+			return int(b) % disks
+		}
+		idx := NewDiskIndex(refs, disks, diskOf)
+		absent := make([]bool, nBlocks)
+		for i := range absent {
+			absent[i] = rng.Intn(2) == 0
+		}
+		for probe := 0; probe < 40; probe++ {
+			c := rng.Intn(n + 1)
+			limit := c + rng.Intn(n-c+1)
+			d := rng.Intn(disks)
+			got := limit
+			ps := idx.Positions(d)
+			for i := idx.LowerBound(d, c); i < len(ps); i++ {
+				p := int(ps[i])
+				if p >= limit {
+					break
+				}
+				if absent[refs[p]] {
+					got = p
+					break
+				}
+			}
+			if want := naiveFirstMissing(refs, diskOf, absent, d, c, limit); got != want {
+				t.Fatalf("trial %d: first missing on disk %d in [%d,%d) = %d, want %d", trial, d, c, limit, got, want)
+			}
+		}
+		// The per-disk lists must partition the non-excluded positions.
+		total := 0
+		for d := 0; d < disks; d++ {
+			prev := int32(-1)
+			for _, p := range idx.Positions(d) {
+				if p <= prev {
+					t.Fatalf("trial %d: disk %d positions not strictly ascending", trial, d)
+				}
+				if diskOf(refs[p]) != d {
+					t.Fatalf("trial %d: position %d filed under disk %d, maps to %d", trial, p, d, diskOf(refs[p]))
+				}
+				prev = p
+			}
+			total += len(idx.Positions(d))
+		}
+		excluded := 0
+		for _, b := range refs {
+			if diskOf(b) < 0 {
+				excluded++
+			}
+		}
+		if total != n-excluded {
+			t.Fatalf("trial %d: index holds %d positions, want %d", trial, total, n-excluded)
+		}
+	}
+}

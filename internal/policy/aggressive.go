@@ -3,6 +3,7 @@ package policy
 import (
 	"ppcsim/internal/cache"
 	"ppcsim/internal/engine"
+	"ppcsim/internal/future"
 	"ppcsim/internal/layout"
 )
 
@@ -24,10 +25,29 @@ type Aggressive struct {
 	MaxLookahead int
 
 	s       *engine.State
-	scan    missScanner
 	batch   int
 	horizon int
-	left    []int
+
+	// Per-disk batch budget for the current Poll, initialized lazily:
+	// stamp[d] != epoch means disk d has not been consulted this Poll, so
+	// rem[d] is whatever an older Poll left. Laziness is safe because a
+	// disk's free state cannot change between the start of a Poll and its
+	// first consultation — the only in-Poll event that busies a disk is a
+	// fetch to that very disk, which only happens after consulting it.
+	rem   []int
+	stamp []int
+	epoch int
+
+	// gpos is a global first-missing scanner: every position before it
+	// was either passed by the cursor or referenced a block that was
+	// present or in flight when scanned. In-flight blocks only become
+	// present and present blocks only become absent through an eviction,
+	// so the invariant persists until invalidate rewinds the scanner to
+	// an evicted victim's next use. The min over the per-disk "first
+	// missing block" candidates that define the batch loop is exactly
+	// the first missing position (restricted to disks with batch budget),
+	// so one global scanner replaces per-disk ones.
+	gpos int
 }
 
 // NewAggressive returns the multi-disk aggressive policy with the given
@@ -42,7 +62,6 @@ func (a *Aggressive) Name() string { return "aggressive" }
 // Attach implements engine.Policy.
 func (a *Aggressive) Attach(s *engine.State) {
 	a.s = s
-	a.scan = missScanner{s: s}
 	a.batch = a.BatchSize
 	if a.batch <= 0 {
 		a.batch = DefaultBatchSize(len(s.Drives))
@@ -54,69 +73,121 @@ func (a *Aggressive) Attach(s *engine.State) {
 			a.horizon = 4096
 		}
 	}
-	a.left = make([]int, len(s.Drives))
+	a.rem = make([]int, len(s.Drives))
+	a.stamp = make([]int, len(s.Drives))
+	a.epoch = 0
+	a.gpos = 0
 }
 
-// Poll implements engine.Policy: fill batches for every free disk.
+// globalFirstMissing returns the first position >= the cursor (on any
+// disk) whose block is missing, or limit if there is none before limit
+// (exclusive). Skipped positions referenced blocks that were present or
+// in flight when scanned; the scan stops at (without consuming) the
+// returned position, so the next call re-validates it.
+func (a *Aggressive) globalFirstMissing(limit int) int {
+	s := a.s
+	p := a.gpos
+	if c := s.Cursor(); p < c {
+		p = c
+	}
+	for p < limit && !s.Cache.Absent(s.Refs[p]) {
+		p++
+	}
+	a.gpos = p
+	return p
+}
+
+// invalidate rewinds the global scanner after block v was evicted: its
+// next use may now be a missing position the scanner already passed. It
+// returns that next use, or future.Never when no state changed.
+func (a *Aggressive) invalidate(v layout.BlockID) int {
+	if v == cache.NoBlock {
+		return future.Never
+	}
+	u := a.s.Oracle.NextUse(v)
+	if u == future.Never {
+		return future.Never
+	}
+	if u < a.gpos {
+		a.gpos = u
+	}
+	return u
+}
+
+// Poll implements engine.Policy: fill batches for every free disk,
+// considering the free disks' missing blocks together in order of
+// increasing request index.
 func (a *Aggressive) Poll() {
 	s := a.s
-	// Batch budget per free disk; zero entries mean the disk is busy.
-	left := a.left
-	anyFree := false
-	for i, d := range s.Drives {
-		left[i] = 0
-		if d.Outstanding() == 0 {
-			left[i] = a.batch
-			anyFree = true
+	limit := s.Cursor() + a.horizon
+	if n := s.Len(); limit > n {
+		limit = n
+	}
+	if s.Cache.FreeBuffers() == 0 {
+		p := a.globalFirstMissing(limit)
+		if p >= limit {
+			return // nothing missing anywhere in the window
+		}
+		// The batch loop fetches missing positions in ascending order and
+		// stops outright on its first do-no-harm failure, so if the rule
+		// rejects the globally first missing position it rejects the whole
+		// Poll: with a full cache no fetch can be issued. The heap may only
+		// be consulted when position p's own disk is free — then p is
+		// provably the loop's first fetch attempt, and this is the same
+		// FurthestEvictable call the loop would make (stale-entry pops and
+		// all); on any other Poll shape the loop decides without the heap
+		// or with a different first candidate, so fall through to it.
+		if d := s.DiskOf(s.Refs[p]); s.DriveFree(d) {
+			if _, vUse := s.Cache.FurthestEvictable(); vUse <= p {
+				return
+			}
 		}
 	}
-	if !anyFree {
+	if !s.AnyDriveFree() {
 		return
 	}
+	a.epoch++
 
-	limit := s.Cursor() + a.horizon
-	firstSkipped := -1
+	// Repeatedly fetch the first missing position among the disks that
+	// still have batch budget (free at this Poll's start, fewer than
+	// batch fetches so far). p walks forward from the global scanner
+	// without committing: positions that are missing but on a budgetless
+	// disk must be revisited by later Polls. A fetch can only create an
+	// earlier missing position by evicting its victim, so p rewinds to
+	// the victim's next use when that lands before it.
+	p := a.globalFirstMissing(limit)
 	for {
-		p := a.scan.next(limit)
-		if p >= s.Len() || p >= limit {
+		d := -1
+		for p < limit {
+			b := s.Refs[p]
+			if s.Cache.Absent(b) {
+				d = s.DiskOf(b)
+				if a.stamp[d] != a.epoch {
+					a.stamp[d] = a.epoch
+					a.rem[d] = 0
+					if s.DriveFree(d) {
+						a.rem[d] = a.batch
+					}
+				}
+				if a.rem[d] > 0 {
+					break
+				}
+			}
+			p++
+		}
+		if p >= limit {
 			break
 		}
-		b := s.Refs[p]
-		d := s.DiskOf(b)
-		if left[d] == 0 {
-			// The block's disk is busy or its batch is full: note the
-			// position so the scanner can resume here next time, and keep
-			// scanning for the free disks.
-			if firstSkipped < 0 {
-				firstSkipped = p
-			}
-			a.scan.pos = p + 1
-			continue
-		}
-		ok, victim := a.tryFetch(b, p)
+		ok, victim := a.tryFetch(s.Refs[p], p)
 		if !ok {
 			// Do no harm disallows any further fetch: every later missing
 			// block is needed even later than this one.
 			break
 		}
-		a.scan.invalidate(victim)
-		left[d]--
-		// Check whether any free disk still has batch budget.
-		anyFree = false
-		for i := range s.Drives {
-			if left[i] > 0 {
-				anyFree = true
-				break
-			}
+		a.rem[d]--
+		if u := a.invalidate(victim); u < p {
+			p = u
 		}
-		if !anyFree {
-			break
-		}
-	}
-	if firstSkipped >= 0 && firstSkipped < a.scan.pos {
-		// Restore the scanner invariant: the skipped position still
-		// references a missing block.
-		a.scan.pos = firstSkipped
 	}
 }
 
@@ -139,5 +210,5 @@ func (a *Aggressive) OnStall(b layout.BlockID) {
 		return // every buffer in flight; the engine retries
 	}
 	s.Issue(b, v)
-	a.scan.invalidate(v)
+	a.invalidate(v)
 }

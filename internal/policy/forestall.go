@@ -3,6 +3,7 @@ package policy
 import (
 	"ppcsim/internal/cache"
 	"ppcsim/internal/engine"
+	"ppcsim/internal/future"
 	"ppcsim/internal/layout"
 )
 
@@ -64,6 +65,12 @@ type Forestall struct {
 	// nextCheck[d].
 	nextCheck []int
 
+	// dindex groups reference positions by disk so forecast and
+	// issueBatch walk only disk d's positions; dlb[d] is the (monotone)
+	// index of the first position >= cursor in dindex.Positions(d).
+	dindex *future.DiskIndex
+	dlb    []int
+
 	// Fixed-horizon rule scan state.
 	fhScanned int
 	fhRetry   []int
@@ -101,9 +108,23 @@ func (f *Forestall) Attach(s *engine.State) {
 	f.cpuHist = make([]float64, historyLen)
 	f.cpuSum, f.cpuPos, f.cpuN, f.seenCPU = 0, 0, 0, 0
 	f.nextCheck = make([]int, d)
+	f.dindex = s.DiskIndex()
+	f.dlb = make([]int, d)
 	f.fhScanned = 0
 	f.fhRetry = f.fhRetry[:0]
 	s.OnComplete = f.onComplete
+}
+
+// fromCursor returns disk d's positions at or after the cursor c,
+// advancing the disk's lower-bound index (the cursor only moves forward).
+func (f *Forestall) fromCursor(d, c int) []int32 {
+	ps := f.dindex.Positions(d)
+	i := f.dlb[d]
+	for i < len(ps) && int(ps[i]) < c {
+		i++
+	}
+	f.dlb[d] = i
+	return ps[i:]
 }
 
 // onComplete records a disk access time sample.
@@ -160,8 +181,8 @@ func (f *Forestall) Poll() {
 	f.pollHorizonRule()
 	s := f.s
 	c := s.Cursor()
-	for d, dr := range s.Drives {
-		if dr.Outstanding() != 0 {
+	for d := range s.Drives {
+		if !s.DriveFree(d) {
 			continue
 		}
 		if c < f.nextCheck[d] {
@@ -186,9 +207,12 @@ func (f *Forestall) forecast(d int) {
 	i := 0
 	minSlack := 1 << 30
 	trigger := false
-	for p := c; p < limit; p++ {
-		b := s.Refs[p]
-		if !s.Cache.Absent(b) || s.DiskOf(b) != d {
+	for _, pp := range f.fromCursor(d, c) {
+		p := int(pp)
+		if p >= limit {
+			break
+		}
+		if !s.Cache.Absent(s.Refs[p]) {
 			continue
 		}
 		i++
@@ -226,9 +250,13 @@ func (f *Forestall) issueBatch(d int) {
 		limit = n
 	}
 	left := f.batch
-	for p := c; p < limit && left > 0; p++ {
+	for _, pp := range f.fromCursor(d, c) {
+		p := int(pp)
+		if p >= limit || left <= 0 {
+			break
+		}
 		b := s.Refs[p]
-		if !s.Cache.Absent(b) || s.DiskOf(b) != d {
+		if !s.Cache.Absent(b) {
 			continue
 		}
 		ok, victim := issueWithVictim(s, b, p)

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"math"
+	"testing"
+)
+
+// mkForestallEst returns a Forestall with only its F'-estimation state
+// initialized (what Attach would build for d disks), so the estimator can
+// be driven directly.
+func mkForestallEst(d int) *Forestall {
+	f := &Forestall{}
+	f.diskHist = make([][]float64, d)
+	for i := range f.diskHist {
+		f.diskHist[i] = make([]float64, historyLen)
+	}
+	f.diskSum = make([]float64, d)
+	f.diskPos = make([]int, d)
+	f.diskN = make([]int, d)
+	f.cpuHist = make([]float64, historyLen)
+	return f
+}
+
+// addCPU folds one compute-time sample into the history ring, mirroring
+// sampleCPU's bookkeeping without needing an attached engine.
+func (f *Forestall) addCPU(v float64) {
+	f.cpuSum += v - f.cpuHist[f.cpuPos]
+	f.cpuHist[f.cpuPos] = v
+	f.cpuPos = (f.cpuPos + 1) % historyLen
+	if f.cpuN < historyLen {
+		f.cpuN++
+	}
+}
+
+// TestForestallFPrimeWarmup pins the estimator's warm-up behavior: before
+// any disk access completes F' is the defaultF seed, and the first real
+// estimates average over the samples actually observed — not over the
+// full (zero-initialized) history window, which would bias early F' by
+// samples/historyLen.
+func TestForestallFPrimeWarmup(t *testing.T) {
+	f := mkForestallEst(2)
+	if got := f.fprime(0); got != defaultF {
+		t.Errorf("F' with no samples = %g, want defaultF %g", got, defaultF)
+	}
+	f.addCPU(2.0)
+	if got := f.fprime(0); got != defaultF {
+		t.Errorf("F' with no disk samples = %g, want defaultF %g", got, defaultF)
+	}
+
+	// First estimate: one 10ms access over a 2ms mean compute time. The
+	// disk is slow (>= slowDiskMs) so the 4x overestimate applies:
+	// F' = (10/1)/(2/1) * 4 = 20. A zero-biased window would instead give
+	// (10/100)/(2/100)*... with meanDisk = 0.1 < slowDiskMs, F' = 0.05 -> 1.
+	f.onComplete(0, 10.0)
+	if got, want := f.fprime(0), 20.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("first F' estimate = %g, want %g", got, want)
+	}
+
+	// Fast-disk branch: 2ms accesses on disk 1 skip the overestimate.
+	f.onComplete(1, 2.0)
+	f.onComplete(1, 4.0)
+	if got, want := f.fprime(1), 1.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("fast-disk F' = %g, want %g", got, want)
+	}
+
+	// Per-disk isolation: disk 0's estimate is untouched by disk 1.
+	if got, want := f.fprime(0), 20.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("disk 0 F' after disk 1 samples = %g, want %g", got, want)
+	}
+
+	// Floor: a disk much faster than compute clamps to F' = 1.
+	g := mkForestallEst(1)
+	g.addCPU(10.0)
+	g.onComplete(0, 1.0)
+	if got := g.fprime(0); got != 1.0 {
+		t.Errorf("floored F' = %g, want 1", got)
+	}
+
+	// FixedF bypasses estimation entirely.
+	f.FixedF = 7.5
+	if got := f.fprime(0); got != 7.5 {
+		t.Errorf("FixedF override = %g, want 7.5", got)
+	}
+}
+
+// TestForestallFPrimeRingWraparound checks the sliding window: after more
+// than historyLen samples the oldest are evicted from the running sum.
+func TestForestallFPrimeRingWraparound(t *testing.T) {
+	f := mkForestallEst(1)
+	f.addCPU(1.0)
+	// historyLen samples of 8ms, then historyLen more of 16ms: the window
+	// must hold only the 16ms samples.
+	for i := 0; i < historyLen; i++ {
+		f.onComplete(0, 8.0)
+	}
+	for i := 0; i < historyLen; i++ {
+		f.onComplete(0, 16.0)
+	}
+	// meanDisk = 16 >= slowDiskMs: F' = 16/1 * 4 = 64.
+	if got, want := f.fprime(0), 64.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("post-wraparound F' = %g, want %g", got, want)
+	}
+}

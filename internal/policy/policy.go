@@ -27,49 +27,6 @@ func DefaultBatchSize(disks int) int {
 	}
 }
 
-// missScanner incrementally finds the next "missing" position: the first
-// position at or after the cursor whose block is neither present nor in
-// flight. The invariant is that every position in [cursor, pos) referenced
-// a block that was present or in flight when scanned; evictions that
-// falsify this must be reported via invalidate.
-type missScanner struct {
-	s   *engine.State
-	pos int
-}
-
-// next returns the first missing position >= the cursor, or the trace
-// length if none exists at or before limit (exclusive). The scan never
-// walks past limit.
-func (m *missScanner) next(limit int) int {
-	c := m.s.Cursor()
-	if m.pos < c {
-		m.pos = c
-	}
-	n := m.s.Len()
-	if limit > n {
-		limit = n
-	}
-	for m.pos < limit {
-		b := m.s.Refs[m.pos]
-		if m.s.Cache.Absent(b) {
-			return m.pos
-		}
-		m.pos++
-	}
-	return n
-}
-
-// invalidate rewinds the scanner after block v was evicted: its next use
-// may now be a missing position the scanner already passed.
-func (m *missScanner) invalidate(v layout.BlockID) {
-	if v == cache.NoBlock {
-		return
-	}
-	if u := m.s.Oracle.NextUse(v); u < m.pos {
-		m.pos = u
-	}
-}
-
 // issueWithVictim fetches block b applying the optimal replacement rule
 // and the do-no-harm rule: the victim is the present block whose next
 // reference is furthest in the future; the fetch happens only if a free
