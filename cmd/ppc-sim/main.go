@@ -46,7 +46,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	if *cpuScale != 1 {
+	if *cpuScale != 1 { //ppcvet:ignore flag-default sentinel, parsed rather than computed
 		tr = tr.ScaleCompute(*cpuScale)
 	}
 	algorithm, err := ppcsim.ParseAlgorithm(*alg)

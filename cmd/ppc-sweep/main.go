@@ -111,7 +111,7 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 		return err
 	}
 	var hints *ppcsim.HintSpec
-	if sp.hintFrac != 1 || sp.hintAcc != 1 {
+	if sp.hintFrac != 1 || sp.hintAcc != 1 { //ppcvet:ignore flag-default sentinels, parsed rather than computed
 		hints = &ppcsim.HintSpec{Fraction: sp.hintFrac, Accuracy: sp.hintAcc}
 	}
 	if parallel < 1 {

@@ -1,0 +1,195 @@
+// Command ppc-vet runs the repository's domain analyzers — detrand,
+// maporder, floateq, obsguard — over Go packages and reports every
+// violation of the simulator's determinism, float-time, and
+// observability invariants.
+//
+// Usage:
+//
+//	ppc-vet [flags] [packages]
+//
+// With no packages, ./... is analyzed. Exit status is 0 when the tree is
+// clean, 1 when diagnostics were reported, and 2 on analysis failure.
+//
+//	-json              emit diagnostics as a JSON array instead of text
+//	-fixtures          run the analyzer fixture self-check and exit
+//	-detrand.exempt    comma-separated import-path prefixes detrand skips
+//	-obsguard.skip     comma-separated import paths obsguard skips
+//
+// A finding is suppressed by a trailing or immediately-preceding
+// //ppcvet:ignore <reason> comment; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ppcsim/internal/analysis"
+	"ppcsim/internal/analysis/detrand"
+	"ppcsim/internal/analysis/floateq"
+	"ppcsim/internal/analysis/maporder"
+	"ppcsim/internal/analysis/obsguard"
+)
+
+// obsguardSkipDefault excludes the package that owns the Observer
+// contract: its Multi fan-out iterates members Tee has already
+// nil-filtered, so per-call guards there would be dead code.
+const obsguardSkipDefault = "ppcsim/internal/obs"
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	fixtures := flag.Bool("fixtures", false, "run the analyzer fixture self-check and exit")
+	detrandExempt := flag.String("detrand.exempt", "", "comma-separated import-path prefixes detrand skips")
+	obsguardSkip := flag.String("obsguard.skip", obsguardSkipDefault, "comma-separated import paths obsguard skips")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *fixtures {
+		if err := runFixtures(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	analyzers := configuredAnalyzers(*detrandExempt, *obsguardSkip)
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := vet(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppc-vet:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		writeJSON(os.Stdout, diags)
+	} else {
+		writeText(os.Stdout, diags)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ppc-vet [flags] [packages]\n\nanalyzers:\n")
+	for _, a := range configuredAnalyzers("", obsguardSkipDefault) {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
+}
+
+func configuredAnalyzers(detrandExempt, obsguardSkip string) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.New(splitList(detrandExempt)),
+		maporder.Analyzer,
+		floateq.Analyzer,
+		obsguard.New(splitList(obsguardSkip)),
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// vet loads the patterns and runs every analyzer over each package.
+func vet(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.RunPackage(pkg, analyzers)...)
+	}
+	return diags, nil
+}
+
+func writeText(w io.Writer, diags []analysis.Diagnostic) {
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape for -json output.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// runFixtures checks every analyzer against its testdata packages — the
+// same suite the analyzers' unit tests run, callable from CI or the
+// command line without go test.
+func runFixtures(w io.Writer) error {
+	failed := false
+	for _, a := range []*analysis.Analyzer{detrand.Analyzer, maporder.Analyzer, floateq.Analyzer, obsguard.Analyzer} {
+		dir, err := analyzerDir(a.Name)
+		if err != nil {
+			return err
+		}
+		fixtureDirs, err := analysis.FixtureDirs(dir)
+		if err != nil {
+			return err
+		}
+		for _, fd := range fixtureDirs {
+			if err := analysis.RunFixture(a, fd); err != nil {
+				failed = true
+				fmt.Fprintf(w, "FAIL %s %s\n%v\n", a.Name, filepath.Base(fd), err)
+				continue
+			}
+			fmt.Fprintf(w, "ok   %s %s\n", a.Name, filepath.Base(fd))
+		}
+	}
+	if failed {
+		return fmt.Errorf("fixture self-check failed")
+	}
+	return nil
+}
+
+// analyzerDir locates an analyzer package's source directory through the
+// go command, so -fixtures works from any directory inside the module.
+func analyzerDir(name string) (string, error) {
+	out, err := analysis.GoListDir("ppcsim/internal/analysis/" + name)
+	if err != nil {
+		return "", fmt.Errorf("locating analyzer %s: %v", name, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+// TestFixtureSelfCheck is the -fixtures path: every analyzer must pass
+// its testdata suite under plain `go test ./...`, keeping the fixture
+// contract inside tier-1 verification.
+func TestFixtureSelfCheck(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFixtures(&buf); err != nil {
+		t.Fatalf("fixture self-check failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, a := range []string{"detrand", "maporder", "floateq", "obsguard"} {
+		if !strings.Contains(out, "ok   "+a) {
+			t.Errorf("analyzer %s missing from self-check output:\n%s", a, out)
+		}
+	}
+}
+
+// TestDogfoodTreeIsClean runs the configured multichecker over the whole
+// module, asserting the acceptance criterion that `ppc-vet ./...` exits
+// clean on the final tree.
+func TestDogfoodTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis in -short mode")
+	}
+	diags, err := vet("../..", []string{"./..."}, configuredAnalyzers("", obsguardSkipDefault))
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	diags := []analysis.Diagnostic{{
+		Analyzer: "detrand",
+		Pos:      token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Message:  "wall-clock time.Now in simulator code",
+	}}
+	var buf bytes.Buffer
+	writeJSON(&buf, diags)
+	var decoded []jsonDiag
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 1 || decoded[0].Analyzer != "detrand" || decoded[0].Line != 3 || decoded[0].Col != 7 {
+		t.Errorf("bad JSON round-trip: %+v", decoded)
+	}
+	// An empty diagnostic list must still be a JSON array, not null.
+	buf.Reset()
+	writeJSON(&buf, nil)
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty diagnostics rendered %q, want []", buf.String())
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a , ,b,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+}

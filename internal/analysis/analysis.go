@@ -1,0 +1,162 @@
+// Package analysis is a minimal static-analysis framework built only on
+// the standard library's go/ast, go/parser, go/types and go/token
+// packages. It exists so the repository can machine-check the invariants
+// its experiments depend on — simulator determinism, float-time
+// discipline and zero-cost observability — without importing
+// golang.org/x/tools.
+//
+// The moving parts mirror x/tools/go/analysis at a much smaller scale: an
+// Analyzer holds a Run function that inspects one type-checked package
+// through a Pass and reports Diagnostics; Load builds packages with the
+// go command's export data (see load.go); RunPackage drives a set of
+// analyzers over one package and applies //ppcvet:ignore suppression
+// (see ignore.go); RunFixture checks an analyzer against a testdata
+// package annotated with // want comments (see fixture.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and JSON output.
+	Name string
+	// Doc is a short description, shown by ppc-vet's usage text.
+	Doc string
+	// Run inspects the package behind pass and calls pass.Reportf for
+	// every finding.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package to an analyzer's Run function.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunPackage runs each analyzer over pkg, drops findings suppressed by a
+// //ppcvet:ignore directive, appends diagnostics for malformed
+// directives, and returns everything sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+		}
+		a.Run(pass)
+		all = append(all, pass.diags...)
+	}
+	idx, malformed := ignoreIndex(pkg.Fset, pkg.Files)
+	kept := malformed
+	for _, d := range all {
+		if !idx.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// WalkStack traverses root depth-first, calling fn for every node with
+// the stack of its ancestors (outermost first, excluding n itself).
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// Callee resolves the *types.Func a call invokes, or nil when the callee
+// is not a declared function or method (builtins, conversions, calls of
+// function-typed values).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ObserverCall reports whether call is a method call whose static
+// receiver type is a named interface called "Observer" — the
+// observability layer's contract type (internal/obs.Observer, or a local
+// equivalent in fixtures). It returns the receiver expression and method
+// name when it is.
+func ObserverCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	t := selection.Recv()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Observer" {
+		return nil, "", false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg type-checks one import-free source string.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// reportInts is a toy analyzer that flags every integer literal.
+var reportInts = &Analyzer{
+	Name: "ints",
+	Doc:  "flag integer literals",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+					pass.Reportf(lit.Pos(), "integer literal %s", lit.Value)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestRunPackageReportsAndSorts(t *testing.T) {
+	pkg := parsePkg(t, "package p\n\nvar b = 2\nvar a = 1\n")
+	diags := RunPackage(pkg, []*Analyzer{reportInts})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 4 {
+		t.Errorf("diagnostics not sorted by position: %v", diags)
+	}
+	if diags[0].Analyzer != "ints" || !strings.Contains(diags[0].Message, "2") {
+		t.Errorf("bad diagnostic: %+v", diags[0])
+	}
+}
+
+func TestIgnoreSuppressesSameAndNextLine(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+var a = 1 //ppcvet:ignore trailing suppression
+
+//ppcvet:ignore standalone suppression above the line
+var b = 2
+
+var c = 3
+`)
+	diags := RunPackage(pkg, []*Analyzer{reportInts})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "3") {
+		t.Fatalf("want only the unsuppressed literal 3, got %v", diags)
+	}
+}
+
+func TestIgnoreWithoutReasonIsDiagnosed(t *testing.T) {
+	pkg := parsePkg(t, "package p\n\nvar a = 1 //ppcvet:ignore\n")
+	diags := RunPackage(pkg, []*Analyzer{reportInts})
+	if len(diags) != 2 {
+		t.Fatalf("want the finding plus the malformed-directive diagnostic, got %v", diags)
+	}
+	var sawMissing, sawFinding bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "ppcvet":
+			sawMissing = strings.Contains(d.Message, "requires a reason")
+		case "ints":
+			sawFinding = true
+		}
+	}
+	if !sawMissing || !sawFinding {
+		t.Errorf("reasonless ignore must not suppress and must be flagged: %v", diags)
+	}
+}
+
+func TestUnknownDirectiveIsDiagnosed(t *testing.T) {
+	pkg := parsePkg(t, "package p\n\n//ppcvet:silence all\nvar a = 1\n")
+	diags := RunPackage(pkg, []*Analyzer{reportInts})
+	var sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer == "ppcvet" && strings.Contains(d.Message, "unknown ppcvet directive") {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("unknown directive not flagged: %v", diags)
+	}
+}
+
+func TestWalkStackTracksAncestors(t *testing.T) {
+	pkg := parsePkg(t, "package p\n\nfunc f() { if true { _ = 1 } }\n")
+	var depth int
+	WalkStack(pkg.Files[0], func(n ast.Node, stack []ast.Node) {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "1" {
+			depth = len(stack)
+			// The stack must contain, among others, the file, the func
+			// declaration, and the if statement.
+			var sawFunc, sawIf bool
+			for _, a := range stack {
+				switch a.(type) {
+				case *ast.FuncDecl:
+					sawFunc = true
+				case *ast.IfStmt:
+					sawIf = true
+				}
+			}
+			if !sawFunc || !sawIf {
+				t.Errorf("stack misses ancestors: %T", stack)
+			}
+		}
+	})
+	if depth == 0 {
+		t.Fatal("literal not visited")
+	}
+}
+
+func TestMatchWantsFlagsBothDirections(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n\nvar a = 1 // want `integer literal 1`\nvar b = 2\n"
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{f}
+	ok := []Diagnostic{{Analyzer: "ints", Pos: token.Position{Filename: "w.go", Line: 3}, Message: "integer literal 1"}}
+	if err := matchWants(fset, files, ok); err != nil {
+		t.Errorf("matching diagnostic rejected: %v", err)
+	}
+	if err := matchWants(fset, files, nil); err == nil || !strings.Contains(err.Error(), "no diagnostic matched") {
+		t.Errorf("unmatched want not reported: %v", err)
+	}
+	extra := append(ok, Diagnostic{Analyzer: "ints", Pos: token.Position{Filename: "w.go", Line: 4}, Message: "integer literal 2"})
+	if err := matchWants(fset, files, extra); err == nil || !strings.Contains(err.Error(), "unexpected diagnostic") {
+		t.Errorf("unexpected diagnostic not reported: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package detrand checks that simulator code stays a deterministic
+// function of (trace, algorithm, disks, seed): no wall-clock reads and
+// no draws from the global math/rand source. All randomness must flow
+// through an explicitly seeded *rand.Rand, the pattern used by
+// internal/trace/gen.go, internal/layout, and the hint corruption in
+// internal/engine.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ppcsim/internal/analysis"
+)
+
+// constructors are the math/rand package-level functions that do not
+// touch the global source; everything else at package level does.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 generator constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// New returns the analyzer. Packages whose import path starts with one
+// of the exempt prefixes are skipped entirely (e.g. a benchmark CLI that
+// legitimately reads the wall clock).
+func New(exempt []string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "detrand",
+		Doc:  "forbid wall-clock reads and global math/rand draws in simulator code",
+		Run:  func(pass *analysis.Pass) { run(pass, exempt) },
+	}
+}
+
+// Analyzer is the default, exemption-free instance.
+var Analyzer = New(nil)
+
+func run(pass *analysis.Pass, exempt []string) {
+	for _, prefix := range exempt {
+		if strings.HasPrefix(pass.Pkg.Path(), prefix) {
+			return
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Methods (e.g. (*rand.Rand).Intn on a seeded generator)
+				// are exactly the sanctioned pattern.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "wall-clock time.%s in simulator code; simulation time must come from the engine clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !constructors[fn.Name()] {
+					pass.Reportf(call.Pos(), "global math/rand %s draws from ambient process state; use a seeded *rand.Rand", fn.Name())
+					return true
+				}
+				if fn.Name() == "New" && !seededSource(pass, call) {
+					pass.Reportf(call.Pos(), "rand.New argument must be a direct rand.NewSource(seed) call so the stream is reproducibly seeded")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seededSource reports whether the sole argument of a rand.New call is
+// itself a rand.NewSource / NewPCG / NewChaCha8 constructor call, tying
+// the generator to an explicit seed at the call site.
+func seededSource(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.Callee(pass.Info, src)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		return constructors[fn.Name()] && fn.Name() != "New"
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package detrand
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"bad", "clean"} {
+		if err := analysis.RunFixture(Analyzer, filepath.Join("testdata", "src", dir)); err != nil {
+			t.Errorf("fixture %s:\n%v", dir, err)
+		}
+	}
+}
+
+func TestExemptPrefixSkipsPackage(t *testing.T) {
+	a := New([]string{"fixture/"})
+	if err := analysis.RunFixture(a, filepath.Join("testdata", "src", "clean")); err != nil {
+		t.Errorf("exempt clean fixture: %v", err)
+	}
+	// With the whole fixture tree exempt, the bad package's want
+	// comments must go unmatched — RunFixture reports that as an error.
+	if err := analysis.RunFixture(a, filepath.Join("testdata", "src", "bad")); err == nil {
+		t.Error("exempt bad fixture: analyzer still ran despite exemption")
+	}
+}

@@ -1,0 +1,37 @@
+// Package bad exercises every detrand diagnostic.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeds derives values from ambient process state.
+func Seeds() (int64, float64) {
+	t := time.Now().UnixNano() // want `wall-clock time\.Now`
+	f := rand.Float64()        // want `global math/rand Float64`
+	return t, f
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+var source = rand.NewSource(42)
+
+// FromVariable hides the seed behind a variable, so the call site no
+// longer pins the stream.
+func FromVariable() *rand.Rand {
+	return rand.New(source) // want `rand\.New argument must be a direct rand\.NewSource`
+}
+
+// Shuffled draws a permutation from the global source.
+func Shuffled(n int) []int {
+	return rand.Perm(n) // want `global math/rand Perm`
+}
+
+// Reseeded mutates the global source.
+func Reseeded() {
+	rand.Seed(7) // want `global math/rand Seed`
+}

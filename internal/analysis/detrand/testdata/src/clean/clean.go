@@ -1,0 +1,33 @@
+// Package clean holds the sanctioned randomness patterns: every stream
+// is a *rand.Rand pinned to an explicit seed at the construction site.
+package clean
+
+import "math/rand"
+
+// Stream is the canonical seeded-generator construction.
+func Stream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draws uses methods of a seeded generator, never the global source.
+func Draws(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rng.Intn(100))
+	}
+	return out
+}
+
+// Zipfian builds a distribution over a seeded generator; the NewZipf
+// constructor itself draws nothing.
+func Zipfian(seed int64) *rand.Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(rng, 1.2, 1, 100)
+}
+
+// Sanctioned shows a justified suppression: the finding is silenced by
+// an ignore directive carrying a reason.
+func Sanctioned() float64 {
+	return rand.Float64() //ppcvet:ignore demo of a justified suppression
+}

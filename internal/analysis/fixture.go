@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RunFixture type-checks the single package rooted at dir, runs a over
+// it (including //ppcvet:ignore handling), and compares the resulting
+// diagnostics against the fixture's expectations. An expectation is a
+// trailing comment on the offending line of the form
+//
+//	// want "regexp" "another regexp"
+//
+// where each quoted regexp must match the message of one diagnostic
+// reported on that line. Lines without a want comment must produce no
+// diagnostics. The returned error joins every mismatch; nil means the
+// fixture passed. Fixture packages may import only the standard library.
+func RunFixture(a *Analyzer, dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return fmt.Errorf("fixture %s: no Go files (%v)", dir, err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %v", dir, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		exports, err = exportMap(dir, paths)
+		if err != nil {
+			return fmt.Errorf("fixture %s: %v", dir, err)
+		}
+	}
+	pkg, err := check("fixture/"+filepath.Base(dir), fset, files, exportImporter(fset, exports))
+	if err != nil {
+		return fmt.Errorf("fixture %s: %v", dir, err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{a})
+	return matchWants(fset, files, diags)
+}
+
+// wantRE extracts the quoted regexps of a want comment: double-quoted
+// (Go escaping applies) or backquoted (raw).
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// matchWants pairs diagnostics with // want expectations line by line.
+func matchWants(fset *token.FileSet, files []*ast.File, diags []Diagnostic) error {
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllString(text, -1) {
+					pattern, err := strconv.Unquote(m)
+					if err != nil {
+						return fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, m, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	var failures []error
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Errorf("unexpected diagnostic %s", d))
+		}
+	}
+	var leftover []key
+	for k := range wants {
+		leftover = append(leftover, k)
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		if leftover[i].file != leftover[j].file {
+			return leftover[i].file < leftover[j].file
+		}
+		return leftover[i].line < leftover[j].line
+	})
+	for _, k := range leftover {
+		for _, re := range wants[k] {
+			if re != nil {
+				failures = append(failures, fmt.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re))
+			}
+		}
+	}
+	return errors.Join(failures...)
+}
+
+// FixtureDirs returns the fixture package directories under an
+// analyzer's testdata/src tree.
+func FixtureDirs(analyzerDir string) ([]string, error) {
+	root := filepath.Join(analyzerDir, "testdata", "src")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no fixture packages under %s", root)
+	}
+	return dirs, nil
+}

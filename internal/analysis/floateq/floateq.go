@@ -1,0 +1,89 @@
+// Package floateq flags == and != between floating-point expressions.
+// Simulation time in this repository is float64 milliseconds, and exact
+// equality between derived times (stall reconciliation, event ordering)
+// is only safe inside deliberate epsilon helpers. Two idioms stay legal:
+// self-comparison (the x != x NaN test) and comparison against a
+// math.Inf sentinel, which IEEE arithmetic preserves exactly.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ppcsim/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floats outside approved epsilon helpers",
+	Run:  run,
+}
+
+// approvedSubstrings mark function names that are allowed to compare
+// floats exactly — the repository's epsilon/approximation helpers.
+var approvedSubstrings = []string{"approx", "almost", "near", "within", "eps"}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return
+			}
+			if !isFloat(pass.Info, bin.X) || !isFloat(pass.Info, bin.Y) {
+				return
+			}
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return // x != x is the NaN test
+			}
+			if isInf(pass.Info, bin.X) || isInf(pass.Info, bin.Y) {
+				return // infinity sentinels compare exactly
+			}
+			if inApprovedHelper(stack) {
+				return
+			}
+			pass.Reportf(bin.OpPos, "float equality (%s) on simulation-time values; use an epsilon helper or restructure the comparison", bin.Op)
+		})
+	}
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isInf reports whether e is a math.Inf(...) call.
+func isInf(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.Callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+}
+
+// inApprovedHelper reports whether the innermost enclosing declared
+// function is named like an epsilon helper.
+func inApprovedHelper(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		decl, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		name := strings.ToLower(decl.Name.Name)
+		for _, s := range approvedSubstrings {
+			if strings.Contains(name, s) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Package bad exercises every floateq diagnostic.
+package bad
+
+// Reconcile compares two derived simulation times exactly.
+func Reconcile(stallEnd, now float64) bool {
+	return stallEnd == now // want `float equality \(==\)`
+}
+
+// NotEqual is just as unsafe as equality.
+func NotEqual(a, b float64) bool {
+	return a != b // want `float equality \(!=\)`
+}
+
+// Constant compares against a float literal.
+func Constant(elapsed float64) bool {
+	return elapsed == 1.5 // want `float equality \(==\)`
+}
+
+// Zero equality is the classic stall-reconciliation hazard: an
+// accumulated stall that should be zero rarely is.
+func Zero(stall float64) bool {
+	return stall == 0 // want `float equality \(==\)`
+}
+
+// Narrow shows float32 is covered too.
+func Narrow(a, b float32) bool {
+	return a == b // want `float equality \(==\)`
+}

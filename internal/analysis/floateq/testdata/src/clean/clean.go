@@ -1,0 +1,47 @@
+// Package clean holds the float comparisons that stay legal: epsilon
+// helpers, the NaN self-test, infinity sentinels, orderings, and
+// non-float equality.
+package clean
+
+import "math"
+
+const eps = 1e-9
+
+// approxEqual is an approved epsilon helper; its exact comparison
+// fast-path is the reason helpers are exempt.
+func approxEqual(a, b float64) bool {
+	return a == b || math.Abs(a-b) < eps
+}
+
+// withinTolerance is exempt through the "within" helper naming.
+func withinTolerance(a, b, tol float64) bool {
+	return a == b || math.Abs(a-b) <= tol
+}
+
+// IsNaN uses the self-comparison idiom.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Unbounded compares against the engine's infinity sentinel for an idle
+// disk, which IEEE arithmetic preserves exactly.
+func Unbounded(x float64) bool {
+	return x == math.Inf(1)
+}
+
+// Ints compares integers; only floats are restricted.
+func Ints(a, b int) bool { return a == b }
+
+// Ordered comparisons carry no exact-representation hazard.
+func Ordered(a, b float64) bool { return a < b }
+
+// Reconciled uses the approved helper instead of raw equality.
+func Reconciled(stallEnd, now float64) bool {
+	return approxEqual(stallEnd, now)
+}
+
+// Suppressed shows a justified exact comparison: times copied, never
+// recomputed, so bit-equality is sound.
+func Suppressed(copied, original float64) bool {
+	return copied == original //ppcvet:ignore copied value, never recomputed
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//ppcvet:ignore <reason>
+//
+// and silence every analyzer finding on the comment's own line and the
+// line below it — covering both a trailing comment on the offending line
+// and a standalone comment directly above it. The reason is mandatory: a
+// bare //ppcvet:ignore (or any other //ppcvet: directive) is itself
+// reported as a diagnostic from the pseudo-analyzer "ppcvet", and does
+// not suppress anything.
+const (
+	directivePrefix = "//ppcvet:"
+	ignoreDirective = "//ppcvet:ignore"
+)
+
+// ignores records, per filename, the lines carrying a valid ignore
+// directive.
+type ignores map[string]map[int]bool
+
+func (ig ignores) suppresses(d Diagnostic) bool {
+	lines := ig[d.Pos.Filename]
+	return lines[d.Pos.Line] || lines[d.Pos.Line-1]
+}
+
+// ignoreIndex scans the comments of files for ppcvet directives. It
+// returns the suppression index and a diagnostic for every malformed
+// directive.
+func ignoreIndex(fset *token.FileSet, files []*ast.File) (ignores, []Diagnostic) {
+	idx := ignores{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest, isIgnore := strings.CutPrefix(c.Text, ignoreDirective)
+				if !isIgnore || (rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t")) {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "ppcvet",
+						Pos:      pos,
+						Message:  "unknown ppcvet directive; only //ppcvet:ignore <reason> is recognized",
+					})
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "ppcvet",
+						Pos:      pos,
+						Message:  "//ppcvet:ignore requires a reason",
+					})
+					continue
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return idx, malformed
+}

@@ -1,0 +1,202 @@
+// Package maporder flags range statements over maps whose iteration
+// order can leak into observable results: appending to a slice declared
+// outside the loop without sorting it afterwards, emitting an observer
+// event, or writing output from inside the loop body. Go randomizes map
+// iteration order per run, so any of these silently breaks the
+// simulator's byte-identical-output guarantee.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ppcsim/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order can reach appended slices, observer events, or output",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return
+			}
+			t := pass.Info.Types[rs.X].Type
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return
+			}
+			after := statementsAfter(stack, rs)
+			checkBody(pass, rs, after)
+		})
+	}
+}
+
+// statementsAfter returns the statements that follow the range statement
+// in its enclosing statement list — the region where a reordering sort
+// would redeem an order-dependent append.
+func statementsAfter(stack []ast.Node, rs *ast.RangeStmt) []ast.Stmt {
+	var stmt ast.Stmt = rs
+	for i := len(stack) - 1; i >= 0; i-- {
+		if labeled, ok := stack[i].(*ast.LabeledStmt); ok && labeled.Stmt == stmt {
+			stmt = labeled
+			continue
+		}
+		var list []ast.Stmt
+		switch parent := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = parent.List
+		case *ast.CaseClause:
+			list = parent.Body
+		case *ast.CommClause:
+			list = parent.Body
+		default:
+			return nil
+		}
+		for j, s := range list {
+			if s == stmt {
+				return list[j+1:]
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target, isAppend := appendTarget(pass.Info, call); isAppend {
+			if declaredWithin(pass.Info, target, rs) || sortedIn(pass, after, target) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "append to %s under map iteration without a later sort; element order becomes nondeterministic", types.ExprString(target))
+			return true
+		}
+		if _, method, isObs := analysis.ObserverCall(pass.Info, call); isObs {
+			pass.Reportf(call.Pos(), "observer event %s emitted under map iteration; event order becomes nondeterministic", method)
+			return true
+		}
+		if name, isOut := outputCall(pass.Info, call); isOut {
+			pass.Reportf(call.Pos(), "output written via %s under map iteration; output order becomes nondeterministic", name)
+		}
+		return true
+	})
+}
+
+// appendTarget returns the first argument of a builtin append call.
+func appendTarget(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	if b, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// declaredWithin reports whether the root object of expr is declared
+// inside the range statement — a per-iteration slice whose order cannot
+// outlive one iteration.
+func declaredWithin(info *types.Info, expr ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// sortedIn reports whether any statement in list calls a sort or slices
+// function over target (directly, or through a single wrapping call such
+// as sort.Sort(byLen(target))).
+func sortedIn(pass *analysis.Pass, list []ast.Stmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	for _, stmt := range list {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == want {
+					found = true
+					return false
+				}
+				if wrap, isCall := ast.Unparen(arg).(*ast.CallExpr); isCall && len(wrap.Args) == 1 &&
+					types.ExprString(wrap.Args[0]) == want {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// fmtWriters are the fmt functions that write to a stream.
+var fmtWriters = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+// writeMethods are method names that commit bytes to a writer or
+// encoder, regardless of receiver type.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// outputCall reports whether call writes output, returning a short name
+// for the diagnostic.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch {
+	case !isMethod && fn.Pkg().Path() == "fmt" && fmtWriters[fn.Name()]:
+		return "fmt." + fn.Name(), true
+	case !isMethod && fn.Pkg().Path() == "io" && fn.Name() == "WriteString":
+		return "io.WriteString", true
+	case isMethod && writeMethods[fn.Name()]:
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,56 @@
+// Package bad exercises every maporder diagnostic.
+package bad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys collects map keys with no reordering sort afterwards.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys under map iteration`
+	}
+	return keys
+}
+
+// Print writes rows straight out of the iteration.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `output written via fmt\.Printf`
+	}
+}
+
+// Join commits bytes to a builder in iteration order.
+func Join(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `output written via WriteString`
+	}
+	return b.String()
+}
+
+// Observer mirrors the simulator's observability contract.
+type Observer interface{ Event(string) }
+
+// Emit publishes events in iteration order; a nil guard does not make
+// the order deterministic.
+func Emit(m map[string]int, o Observer) {
+	for k := range m {
+		if o != nil {
+			o.Event(k) // want `observer event Event emitted under map iteration`
+		}
+	}
+}
+
+// SortedWrongSlice sorts a different slice than the one appended to.
+func SortedWrongSlice(m map[string]int) []string {
+	var keys, other []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys under map iteration`
+	}
+	sort.Strings(other)
+	return keys
+}

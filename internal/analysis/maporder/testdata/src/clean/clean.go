@@ -1,0 +1,77 @@
+// Package clean holds map iterations whose order cannot reach any
+// observable result.
+package clean
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys is the canonical collect-then-sort pattern.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortSlice redeems the append through sort.Slice.
+func SortSlice(m map[string]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// Count only aggregates order-independent state.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// LocalPerIteration appends to a slice scoped to one iteration, so its
+// order never spans the map walk.
+func LocalPerIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		pair := make([]int, 0, len(vs))
+		pair = append(pair, vs...)
+		total += len(pair)
+	}
+	return total
+}
+
+// PrintSorted writes output only after sorting outside the map loop.
+func PrintSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// RangeSlice ranges over a slice; slice order is deterministic.
+func RangeSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Suppressed shows a justified suppression of a debug dump.
+func Suppressed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //ppcvet:ignore debug dump, order irrelevant
+	}
+}

@@ -1,0 +1,183 @@
+// Package obsguard enforces the observability layer's
+// zero-cost-when-disabled contract: every method call on an
+// Observer-typed value must be dominated by a nil check on that value,
+// so a run with no observer attached pays only the check. The analysis
+// is lexical: a call is guarded when it sits in the then-branch of
+// `if recv != nil` (or the else-branch of `if recv == nil`), possibly
+// inside a function literal created under such a guard, or when an
+// earlier statement in an enclosing block is `if recv == nil` followed
+// by return/continue/break/panic.
+//
+// Calls on concrete observer implementations (say *obs.Recorder) are
+// not flagged — only calls through the Observer interface, where the
+// value may legitimately be nil to mean "observation disabled".
+package obsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppcsim/internal/analysis"
+)
+
+// New returns the analyzer. Packages whose import path is listed in skip
+// are not checked; the driver skips ppcsim/internal/obs, which owns the
+// contract and fans events out to members its Tee constructor has
+// already nil-filtered.
+func New(skip []string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "obsguard",
+		Doc:  "require a dominating nil check on every Observer interface method call",
+		Run:  func(pass *analysis.Pass) { run(pass, skip) },
+	}
+}
+
+// Analyzer is the default instance with no skipped packages.
+var Analyzer = New(nil)
+
+func run(pass *analysis.Pass, skip []string) {
+	for _, path := range skip {
+		if pass.Pkg.Path() == path {
+			return
+		}
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			recv, method, isObs := analysis.ObserverCall(pass.Info, call)
+			if !isObs {
+				return
+			}
+			if guarded(stack, n, types.ExprString(recv)) {
+				return
+			}
+			pass.Reportf(call.Pos(), "Observer method %s called without a dominating nil check on %s", method, types.ExprString(recv))
+		})
+	}
+}
+
+// guarded walks the ancestor stack of the call looking for either guard
+// form. Crossing function-literal boundaries is deliberate: a closure
+// created under `if recv != nil` only exists when the observer was
+// attached, which is exactly the engine's hook-installation pattern.
+func guarded(stack []ast.Node, node ast.Node, recv string) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IfStmt:
+			if parent.Body == child && condChecks(parent.Cond, recv, token.NEQ) {
+				return true
+			}
+			if parent.Else == child && condChecks(parent.Cond, recv, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if earlyExitBefore(parent.List, child, recv) {
+				return true
+			}
+		case *ast.CaseClause:
+			if earlyExitBefore(parent.Body, child, recv) {
+				return true
+			}
+		case *ast.CommClause:
+			if earlyExitBefore(parent.Body, child, recv) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// condChecks reports whether cond guarantees `recv <op> nil` when the
+// guarded branch runs: for the then-branch (op NEQ) the check must sit
+// on the && spine of cond; for the else-branch (op EQL) on the || spine,
+// since the else-branch runs only when every disjunct is false.
+func condChecks(cond ast.Expr, recv string, op token.Token) bool {
+	spineOp := token.LAND
+	if op == token.EQL {
+		spineOp = token.LOR
+	}
+	for _, term := range spine(cond, spineOp) {
+		bin, ok := term.(*ast.BinaryExpr)
+		if !ok || bin.Op != op {
+			continue
+		}
+		if isNilCheckOf(bin, recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// spine flattens nested binary expressions joined by op.
+func spine(e ast.Expr, op token.Token) []ast.Expr {
+	e = ast.Unparen(e)
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == op {
+		return append(spine(bin.X, op), spine(bin.Y, op)...)
+	}
+	return []ast.Expr{e}
+}
+
+// isNilCheckOf reports whether bin compares recv against nil.
+func isNilCheckOf(bin *ast.BinaryExpr, recv string) bool {
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNil(y) {
+		return types.ExprString(x) == recv
+	}
+	if isNil(x) {
+		return types.ExprString(y) == recv
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// earlyExitBefore reports whether a statement preceding child in list is
+// `if recv == nil { ...; <terminating stmt> }`, which removes the nil
+// case from everything after it.
+func earlyExitBefore(list []ast.Stmt, child ast.Node, recv string) bool {
+	for _, stmt := range list {
+		if stmt == child {
+			return false
+		}
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		if !ok || ifStmt.Else != nil || ifStmt.Body == nil || len(ifStmt.Body.List) == 0 {
+			continue
+		}
+		if !condChecks(ifStmt.Cond, recv, token.EQL) {
+			continue
+		}
+		// For the then-branch of `if recv == nil || ...` to act as a
+		// guard for later statements it must terminate abruptly.
+		if terminates(ifStmt.Body.List[len(ifStmt.Body.List)-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether stmt abruptly leaves the enclosing block.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

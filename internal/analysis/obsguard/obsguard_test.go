@@ -1,0 +1,25 @@
+package obsguard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"bad", "clean"} {
+		if err := analysis.RunFixture(Analyzer, filepath.Join("testdata", "src", dir)); err != nil {
+			t.Errorf("fixture %s:\n%v", dir, err)
+		}
+	}
+}
+
+func TestSkipListDisablesPackage(t *testing.T) {
+	a := New([]string{"fixture/bad"})
+	// With the bad fixture's package path skipped, its want comments go
+	// unmatched, which RunFixture reports as an error.
+	if err := analysis.RunFixture(a, filepath.Join("testdata", "src", "bad")); err == nil {
+		t.Error("skip list had no effect: analyzer still reported diagnostics")
+	}
+}

@@ -1,0 +1,55 @@
+// Package bad exercises every obsguard diagnostic.
+package bad
+
+// Event is a stand-in for the simulator's event payloads.
+type Event struct{ TMs float64 }
+
+// Observer mirrors internal/obs.Observer: nil means disabled.
+type Observer interface {
+	RefServed(Event)
+	RunEnd(float64)
+}
+
+// Engine mirrors the simulator state that carries an optional observer.
+type Engine struct{ obs Observer }
+
+// Step emits with no guard at all.
+func (e *Engine) Step() {
+	e.obs.RefServed(Event{TMs: 1}) // want `RefServed called without a dominating nil check on e\.obs`
+}
+
+// Finish guards on the wrong condition.
+func (e *Engine) Finish(elapsed float64) {
+	if elapsed > 0 {
+		e.obs.RunEnd(elapsed) // want `RunEnd called without a dominating nil check`
+	}
+}
+
+// Inverted calls inside the nil branch.
+func (e *Engine) Inverted() {
+	if e.obs == nil {
+		e.obs.RunEnd(0) // want `RunEnd called without a dominating nil check`
+	}
+}
+
+// OrGuard is unsound: the disjunction can be true with a nil observer.
+func (e *Engine) OrGuard(force bool) {
+	if e.obs != nil || force {
+		e.obs.RefServed(Event{}) // want `RefServed called without a dominating nil check`
+	}
+}
+
+// WrongReceiver checks one observer and calls another.
+func (e *Engine) WrongReceiver(other Observer) {
+	if e.obs != nil {
+		other.RunEnd(1) // want `RunEnd called without a dominating nil check on other`
+	}
+}
+
+// NoExit checks nil but falls through instead of leaving the block.
+func (e *Engine) NoExit() {
+	if e.obs == nil {
+		_ = 0
+	}
+	e.obs.RunEnd(2) // want `RunEnd called without a dominating nil check`
+}

@@ -1,0 +1,85 @@
+// Package clean holds every guard form obsguard accepts.
+package clean
+
+// Event is a stand-in for the simulator's event payloads.
+type Event struct{ TMs float64 }
+
+// Observer mirrors internal/obs.Observer: nil means disabled.
+type Observer interface {
+	RefServed(Event)
+	RunEnd(float64)
+}
+
+// Engine mirrors the simulator state that carries an optional observer.
+type Engine struct{ obs Observer }
+
+// Step uses the canonical then-branch guard.
+func (e *Engine) Step() {
+	if e.obs != nil {
+		e.obs.RefServed(Event{TMs: 1})
+	}
+}
+
+// Combined guards inside a conjunction.
+func (e *Engine) Combined(ok bool) {
+	if ok && e.obs != nil {
+		e.obs.RefServed(Event{})
+	}
+}
+
+// EarlyReturn removes the nil case before emitting.
+func (e *Engine) EarlyReturn() {
+	if e.obs == nil {
+		return
+	}
+	e.obs.RunEnd(0)
+}
+
+// ElseBranch emits where the == nil condition is false.
+func (e *Engine) ElseBranch() {
+	if e.obs == nil {
+		_ = 0
+	} else {
+		e.obs.RunEnd(1)
+	}
+}
+
+// Hook creates the emitting closure only when an observer is attached —
+// the engine's OnStart/OnEvict installation pattern.
+func (e *Engine) Hook() func() {
+	if e.obs != nil {
+		return func() { e.obs.RunEnd(2) }
+	}
+	return nil
+}
+
+// Local guards a rebound observer value.
+func (e *Engine) Local() {
+	if o := e.obs; o != nil {
+		o.RunEnd(3)
+	}
+}
+
+// LoopGuard skips nil inside the loop with continue.
+func (e *Engine) LoopGuard(events []Event) {
+	for _, ev := range events {
+		if e.obs == nil {
+			continue
+		}
+		e.obs.RefServed(ev)
+	}
+}
+
+// Recorder is a concrete implementation; calls on concrete observers
+// need no guard, only the nilable interface does.
+type Recorder struct{}
+
+func (*Recorder) RefServed(Event) {}
+func (*Recorder) RunEnd(float64)  {}
+func Use(r *Recorder)             { r.RefServed(Event{}) }
+
+// Suppressed shows a justified suppression: the caller's contract
+// guarantees a non-nil observer.
+func MustEmit(o Observer) {
+	o.RunEnd(4) //ppcvet:ignore caller contract guarantees non-nil observer
+}

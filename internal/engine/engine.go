@@ -272,7 +272,7 @@ func (s *State) refreshDrive(i int) {
 		// The minimum itself moved (completion started a queued request,
 		// or the drive went idle); rescan.
 		s.rescanBusy()
-	case be < s.minBusyEnd || (be == s.minBusyEnd && i < s.minBusyIdx):
+	case be < s.minBusyEnd || (be == s.minBusyEnd && i < s.minBusyIdx): //ppcvet:ignore bit-exact tie-break over copied busy ends, mirrors rescanBusy's linear scan
 		// A linear scan would now stop at i first.
 		s.minBusyIdx, s.minBusyEnd = i, be
 	}
@@ -410,6 +410,9 @@ func clearBatches(s *State) {
 }
 
 func emitBatches(s *State, onStall bool) {
+	if s.obs == nil {
+		return
+	}
 	for d, n := range s.batchIssued {
 		if n > 0 {
 			s.obs.BatchFormed(obs.BatchEvent{TMs: s.now, Disk: d, Size: n, OnStall: onStall})
@@ -445,7 +448,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	overhead := cfg.DriverOverheadMs
 	switch {
-	case overhead == 0:
+	case overhead == 0: //ppcvet:ignore unset-config sentinel, assigned by the caller rather than computed
 		overhead = DefaultDriverOverheadMs
 	case overhead < 0:
 		overhead = 0
@@ -826,6 +829,9 @@ func summarize(st *obs.StreamingStats) *LatencySummary {
 // emitFetchCompleted reports a completed request, with its queueing and
 // service breakdown, to the attached observer.
 func emitFetchCompleted(s *State, req *disk.Request, d int) {
+	if s.obs == nil {
+		return
+	}
 	start := s.now - req.ServiceMs
 	b := s.breakdowns[req]
 	delete(s.breakdowns, req)

@@ -1,0 +1,90 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStripingBijectionPerDiskCount checks, for every disk count and
+// both construction paths, that block → (disk, LBN) placement is a
+// bijection: no two blocks share a physical location (injectivity), and
+// every placement round-trips to the block's array-logical number
+// (which, with the contiguous logical image, gives surjectivity onto the
+// striped range).
+func TestStripingBijectionPerDiskCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, disks := range []int{1, 2, 3, 4, 5, 7, 8, 10, 13, 16} {
+		l, err := New(4096, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBijection(t, l, disks)
+
+		for trial := 0; trial < 10; trial++ {
+			var files []File
+			next := 0
+			for len(files) < 6 {
+				n := 1 + rng.Intn(GroupBlocks/2)
+				files = append(files, File{BlockID(next), n})
+				next += n
+			}
+			lf, err := NewFiles(files, disks, rng.Int63())
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBijection(t, lf, disks)
+		}
+	}
+}
+
+func assertBijection(t *testing.T, l *Layout, disks int) {
+	t.Helper()
+	seen := make(map[Place]BlockID, l.NumBlocks())
+	for i := 0; i < l.NumBlocks(); i++ {
+		b := BlockID(i)
+		p := l.Lookup(b)
+		if p.Disk < 0 || p.Disk >= disks {
+			t.Fatalf("block %d on disk %d outside [0,%d)", b, p.Disk, disks)
+		}
+		if p.LBN < 0 {
+			t.Fatalf("block %d at negative LBN %d", b, p.LBN)
+		}
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("blocks %d and %d collide at disk %d LBN %d", prev, b, p.Disk, p.LBN)
+		}
+		seen[p] = b
+		if back := p.LBN*int64(disks) + int64(p.Disk); back != l.Logical(b) {
+			t.Fatalf("block %d: placement (%d,%d) inverts to logical %d, want %d",
+				b, p.Disk, p.LBN, back, l.Logical(b))
+		}
+	}
+}
+
+// TestStripingBalance checks the striping invariant that a contiguous
+// logical range spreads across disks as evenly as possible: per-disk
+// counts differ by at most one block.
+func TestStripingBalance(t *testing.T) {
+	for _, disks := range []int{1, 2, 3, 4, 6, 9, 16} {
+		const n = 1000
+		l, err := New(n, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, disks)
+		for i := 0; i < n; i++ {
+			counts[l.Lookup(BlockID(i)).Disk]++
+		}
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("disks=%d: per-disk counts %v spread more than 1", disks, counts)
+		}
+	}
+}

@@ -181,7 +181,7 @@ func New(cfg Config) (*Sim, error) {
 	}
 	overhead := cfg.DriverOverheadMs
 	switch {
-	case overhead == 0:
+	case overhead == 0: //ppcvet:ignore unset-config sentinel, assigned by the caller rather than computed
 		overhead = 0.5
 	case overhead < 0:
 		overhead = 0

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenDocument renders one representative table and figure — every
+// formatting feature the experiment reports rely on: title underlines,
+// left/right alignment, width-driven padding, notes, legends, glyph
+// cycling, and total labels.
+func goldenDocument() string {
+	var b strings.Builder
+	t := &Table{
+		Title:   "Elapsed time by algorithm",
+		Columns: []string{"algorithm", "elapsed", "stall", "hit rate"},
+		Notes:   []string{"synthetic trace, 4 disks", "times in seconds"},
+	}
+	t.AddRow("demand", F(124.518), F(98.2), Pct(61.35))
+	t.AddRow("fixed-horizon", F(77.04), F(51.7), Pct(61.35))
+	t.AddRow("aggressive", F(58.3), F(33.009), Pct(61.35))
+	t.AddRow("forestall", F(55), F2(29.5), Pct(61.35))
+	t.Render(&b)
+
+	f := &Figure{
+		Title:    "Elapsed-time breakdown",
+		SegNames: []string{"cpu", "driver", "stall"},
+		Unit:     "s",
+		Width:    40,
+	}
+	f.Add("demand", 24.0, 2.3, 98.2)
+	f.Add("aggressive", 24.0, 1.25, 33.0)
+	f.Add("forestall", 24.0, 1.0, 0.0)
+	f.Render(&b)
+	return b.String()
+}
+
+func goldenSVG(t *testing.T) string {
+	f := &Figure{
+		Title:    "Breakdown <svg>",
+		SegNames: []string{"cpu", "stall"},
+		Unit:     "s",
+	}
+	f.Add("demand", 24.0, 98.2)
+	f.Add("forestall", 24.0, 29.5)
+	var b strings.Builder
+	if err := f.RenderSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenReport pins the exact bytes of the text renderer: the sweep
+// and experiment CSV/report outputs are diffed across runs to verify
+// determinism, so formatting drift is a real regression.
+func TestGoldenReport(t *testing.T) {
+	checkGolden(t, "golden_report.txt", goldenDocument())
+}
+
+// TestGoldenSVG pins the SVG renderer the figures export path uses.
+func TestGoldenSVG(t *testing.T) {
+	checkGolden(t, "golden_figure.svg", goldenSVG(t))
+}
+
+// TestGoldenIsStable renders the document twice; the report layer must
+// be a pure function of its inputs.
+func TestGoldenIsStable(t *testing.T) {
+	if goldenDocument() != goldenDocument() {
+		t.Fatal("two renders of the same document differ")
+	}
+}
