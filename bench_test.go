@@ -12,31 +12,18 @@ package ppcsim_test
 
 import (
 	"fmt"
-	"sync"
 	"testing"
 
 	"ppcsim"
+	"ppcsim/internal/trace/tracetest"
 )
 
-var (
-	benchMu     sync.Mutex
-	benchTraces = map[string]*ppcsim.Trace{}
-)
-
+// benchTrace returns a quarter-length bundled trace; generation is
+// cached per process by tracetest, truncation is a cheap copy.
 func benchTrace(b *testing.B, name string) *ppcsim.Trace {
 	b.Helper()
-	benchMu.Lock()
-	defer benchMu.Unlock()
-	if tr, ok := benchTraces[name]; ok {
-		return tr
-	}
-	tr, err := ppcsim.NewTrace(name)
-	if err != nil {
-		b.Fatal(err)
-	}
-	tr = tr.Truncate(len(tr.Refs) / 4)
-	benchTraces[name] = tr
-	return tr
+	tr := tracetest.Bundled(b, name)
+	return tr.Truncate(len(tr.Refs) / 4)
 }
 
 // benchRun executes one configuration b.N times and reports the simulated
@@ -268,18 +255,7 @@ func BenchmarkAppendixHForestallFixed(b *testing.B) {
 
 func benchTraceFull(b *testing.B, name string) *ppcsim.Trace {
 	b.Helper()
-	benchMu.Lock()
-	defer benchMu.Unlock()
-	key := name + "/full"
-	if tr, ok := benchTraces[key]; ok {
-		return tr
-	}
-	tr, err := ppcsim.NewTrace(name)
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchTraces[key] = tr
-	return tr
+	return tracetest.Bundled(b, name)
 }
 
 // HotPathGrid is the benchmark grid shared with cmd/ppc-bench.

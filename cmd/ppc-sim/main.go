@@ -6,56 +6,94 @@
 //	ppc-sim -trace postgres-select -alg forestall -disks 4
 //	ppc-sim -trace synth -alg aggressive -disks 3 -batch 40 -sched fcfs
 //	ppc-sim -trace cscope1 -alg forestall -disks 2 -events trace.json -series series.csv
+//
+// Exit status: 0 on success, 2 for an invalid configuration (unknown
+// trace or algorithm, non-positive -disks or -cache, and anything else
+// ppcsim reports as a ConfigError), 1 for runtime failures.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ppcsim"
 )
 
 func main() {
-	var (
-		traceName = flag.String("trace", "synth", "trace name (see ppc-traces for the list)")
-		alg       = flag.String("alg", "forestall", "algorithm: demand, fixed-horizon, aggressive, reverse-aggressive, forestall")
-		disks     = flag.Int("disks", 1, "number of disks in the array")
-		cacheBlk  = flag.Int("cache", 0, "cache size in 8K blocks (0 = trace default)")
-		sched     = flag.String("sched", "cscan", "disk-head scheduling: cscan or fcfs")
-		batch     = flag.Int("batch", 0, "batch size for aggressive/forestall/reverse-aggressive (0 = paper default)")
-		horizon   = flag.Int("horizon", 0, "prefetch horizon H for fixed-horizon/forestall (0 = 62)")
-		festimate = flag.Float64("f", 0, "reverse aggressive's fetch time estimate F (0 = 32)")
-		fixedF    = flag.Float64("forestall-f", 0, "fix forestall's F' instead of dynamic estimation")
-		overhead  = flag.Float64("driver-ms", 0, "driver overhead per request in ms (0 = 0.5, negative = none)")
-		simple    = flag.Bool("simple-disk", false, "use the simplified fixed-latency disk model")
-		seed      = flag.Int64("seed", 0, "data placement seed")
-		cpuScale  = flag.Float64("cpu-scale", 1, "scale all compute times (0.5 = double-speed CPU)")
-		perDisk   = flag.Bool("per-disk", false, "print a per-disk breakdown")
-		events    = flag.String("events", "", "write Chrome trace-event JSON to this file (view in chrome://tracing or ui.perfetto.dev)")
-		series    = flag.String("series", "", "write per-disk time-series CSV (queue depth, utilization, cache occupancy, stalls) to this file")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	die := func(err error) {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+// run is main with the process edges injected, so the table tests in
+// main_test.go can drive the full flag-to-exit-status path in process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ppc-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		traceName = fs.String("trace", "synth", "trace name (see ppc-traces for the list)")
+		alg       = fs.String("alg", "forestall", "algorithm: demand, fixed-horizon, aggressive, reverse-aggressive, forestall")
+		disks     = fs.Int("disks", 1, "number of disks in the array")
+		cacheBlk  = fs.Int("cache", 0, "cache size in 8K blocks (0 = trace default)")
+		sched     = fs.String("sched", "cscan", "disk-head scheduling: cscan or fcfs")
+		batch     = fs.Int("batch", 0, "batch size for aggressive/forestall/reverse-aggressive (0 = paper default)")
+		horizon   = fs.Int("horizon", 0, "prefetch horizon H for fixed-horizon/forestall (0 = 62)")
+		festimate = fs.Float64("f", 0, "reverse aggressive's fetch time estimate F (0 = 32)")
+		fixedF    = fs.Float64("forestall-f", 0, "fix forestall's F' instead of dynamic estimation")
+		overhead  = fs.Float64("driver-ms", 0, "driver overhead per request in ms (0 = 0.5, negative = none)")
+		simple    = fs.Bool("simple-disk", false, "use the simplified fixed-latency disk model")
+		seed      = fs.Int64("seed", 0, "data placement seed")
+		cpuScale  = fs.Float64("cpu-scale", 1, "scale all compute times (0.5 = double-speed CPU)")
+		perDisk   = fs.Bool("per-disk", false, "print a per-disk breakdown")
+		events    = fs.String("events", "", "write Chrome trace-event JSON to this file (view in chrome://tracing or ui.perfetto.dev)")
+		series    = fs.String("series", "", "write per-disk time-series CSV (queue depth, utilization, cache occupancy, stalls) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// fail maps errors to exit codes: configuration mistakes (the
+	// ConfigError family) exit 2 so scripts can tell bad invocations from
+	// runtime failures, which exit 1.
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ppc-sim:", err)
+		var cfgErr *ppcsim.ConfigError
+		if errors.As(err, &cfgErr) {
+			return 2
+		}
+		return 1
+	}
+
+	// The library treats zero Disks/CacheBlocks as "use the default", so
+	// an explicit -disks 0 or -cache 0 would otherwise be silently
+	// reinterpreted instead of rejected. Catch explicit non-positive
+	// values at the flag boundary.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["disks"] && *disks <= 0 {
+		return fail(&ppcsim.ConfigError{Field: "Disks",
+			Reason: fmt.Sprintf("must be positive, got %d", *disks)})
+	}
+	if explicit["cache"] && *cacheBlk <= 0 {
+		return fail(&ppcsim.ConfigError{Field: "CacheBlocks",
+			Reason: fmt.Sprintf("must be positive, got %d", *cacheBlk)})
 	}
 
 	tr, err := ppcsim.NewTrace(*traceName)
 	if err != nil {
-		die(err)
+		return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
 	}
 	if *cpuScale != 1 { //ppcvet:ignore flag-default sentinel, parsed rather than computed
 		tr = tr.ScaleCompute(*cpuScale)
 	}
 	algorithm, err := ppcsim.ParseAlgorithm(*alg)
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
 	discipline, err := ppcsim.ParseDiscipline(*sched)
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
 	opts := ppcsim.Options{
 		Trace:            tr,
@@ -85,7 +123,7 @@ func main() {
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
 		eventsF = f
 		tracer = ppcsim.NewChromeTracer()
@@ -93,7 +131,7 @@ func main() {
 	if *series != "" {
 		f, err := os.Create(*series)
 		if err != nil {
-			die(err)
+			return fail(err)
 		}
 		seriesF = f
 		recorder = ppcsim.NewRecorder()
@@ -105,47 +143,48 @@ func main() {
 
 	res, err := ppcsim.Run(opts)
 	if err != nil {
-		die(err)
+		return fail(err)
 	}
-	fmt.Println(res)
-	fmt.Printf("  fetches:            %d\n", res.Fetches)
-	fmt.Printf("  elapsed time (sec): %.3f\n", res.ElapsedSec)
-	fmt.Printf("  compute time (sec): %.3f\n", res.ComputeSec)
-	fmt.Printf("  driver time (sec):  %.3f\n", res.DriverTimeSec)
-	fmt.Printf("  stall time (sec):   %.3f\n", res.StallTimeSec)
-	fmt.Printf("  avg fetch (msec):   %.3f\n", res.AvgFetchMs)
-	fmt.Printf("  avg response (ms):  %.3f\n", res.AvgResponseMs)
-	fmt.Printf("  avg disk util:      %.2f\n", res.AvgUtilization)
+	fmt.Fprintln(stdout, res)
+	fmt.Fprintf(stdout, "  fetches:            %d\n", res.Fetches)
+	fmt.Fprintf(stdout, "  elapsed time (sec): %.3f\n", res.ElapsedSec)
+	fmt.Fprintf(stdout, "  compute time (sec): %.3f\n", res.ComputeSec)
+	fmt.Fprintf(stdout, "  driver time (sec):  %.3f\n", res.DriverTimeSec)
+	fmt.Fprintf(stdout, "  stall time (sec):   %.3f\n", res.StallTimeSec)
+	fmt.Fprintf(stdout, "  avg fetch (msec):   %.3f\n", res.AvgFetchMs)
+	fmt.Fprintf(stdout, "  avg response (ms):  %.3f\n", res.AvgResponseMs)
+	fmt.Fprintf(stdout, "  avg disk util:      %.2f\n", res.AvgUtilization)
 	if res.Latency != nil {
 		l := res.Latency
-		fmt.Printf("  fetch latency (ms): p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",
+		fmt.Fprintf(stdout, "  fetch latency (ms): p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",
 			l.FetchP50Ms, l.FetchP95Ms, l.FetchP99Ms, l.FetchCount)
-		fmt.Printf("  stall length (ms):  p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",
+		fmt.Fprintf(stdout, "  stall length (ms):  p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",
 			l.StallP50Ms, l.StallP95Ms, l.StallP99Ms, l.StallCount)
 	}
 	if *perDisk {
 		for i, d := range res.PerDisk {
-			fmt.Printf("  disk %2d: fetches %6d  busy %8.3fs  svc %7.3fms  resp %7.3fms  util %.2f\n",
+			fmt.Fprintf(stdout, "  disk %2d: fetches %6d  busy %8.3fs  svc %7.3fms  resp %7.3fms  util %.2f\n",
 				i, d.Fetches, d.BusySec, d.AvgFetchMs, d.AvgRespMs, d.Utilization)
 		}
 	}
 
 	if tracer != nil {
 		if _, err := tracer.WriteTo(eventsF); err != nil {
-			die(err)
+			return fail(err)
 		}
 		if err := eventsF.Close(); err != nil {
-			die(err)
+			return fail(err)
 		}
-		fmt.Printf("  wrote trace events: %s\n", *events)
+		fmt.Fprintf(stdout, "  wrote trace events: %s\n", *events)
 	}
 	if recorder != nil {
 		if err := recorder.WriteCSV(seriesF); err != nil {
-			die(err)
+			return fail(err)
 		}
 		if err := seriesF.Close(); err != nil {
-			die(err)
+			return fail(err)
 		}
-		fmt.Printf("  wrote time series:  %s\n", *series)
+		fmt.Fprintf(stdout, "  wrote time series:  %s\n", *series)
 	}
+	return 0
 }

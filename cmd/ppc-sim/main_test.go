@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBoundaryExitCodes is the CLI half of the boundary-validation
+// table: configuration mistakes exit 2 with a ConfigError-derived
+// message on stderr, never a panic and never exit 1's runtime-failure
+// meaning.
+func TestBoundaryExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring
+	}{
+		{"default run", []string{"-trace", "synth", "-alg", "demand"}, 0, ""},
+		{"zero disks", []string{"-disks", "0"}, 2, "Disks"},
+		{"negative disks", []string{"-disks", "-3"}, 2, "Disks"},
+		{"zero cache", []string{"-cache", "0"}, 2, "CacheBlocks"},
+		{"negative cache", []string{"-cache", "-8"}, 2, "CacheBlocks"},
+		{"one-block cache", []string{"-cache", "1"}, 2, "CacheBlocks"},
+		{"unknown algorithm", []string{"-alg", "tip2"}, 2, "Algorithm"},
+		{"unknown scheduler", []string{"-sched", "sstf"}, 2, "Scheduler"},
+		{"unknown trace", []string{"-trace", "bogus"}, 2, "Trace"},
+		{"negative batch", []string{"-alg", "aggressive", "-batch", "-1"}, 2, "BatchSize"},
+		{"negative horizon", []string{"-alg", "fixed-horizon", "-horizon", "-1"}, 2, "Horizon"},
+		{"unparseable flag", []string{"-disks", "many"}, 2, ""},
+		{"unknown flag", []string{"-frobnicate"}, 2, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := c.args
+			if c.name != "unknown trace" && c.name != "default run" {
+				// Keep failure cases fast: a tiny truncated run never
+				// happens anyway (they must fail before simulating), but a
+				// typo here shouldn't cost a full-trace simulation.
+				args = append([]string{"-trace", "synth"}, args...)
+			}
+			var stdout, stderr bytes.Buffer
+			code := run(args, &stdout, &stderr)
+			if code != c.code {
+				t.Fatalf("exit %d, want %d\nstderr: %s", code, c.code, stderr.String())
+			}
+			if c.stderr != "" && !strings.Contains(stderr.String(), c.stderr) {
+				t.Errorf("stderr %q does not name field %q", stderr.String(), c.stderr)
+			}
+			if c.code != 0 && stdout.Len() > 0 {
+				t.Errorf("failed run wrote to stdout: %s", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunPrintsMetrics sanity-checks the success path's report shape.
+func TestRunPrintsMetrics(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trace", "ld", "-alg", "forestall", "-disks", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"fetches:", "elapsed time (sec):", "stall time (sec):", "avg disk util:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -40,10 +40,16 @@ import (
 // nil-filtered, so per-call guards there would be dead code.
 const obsguardSkipDefault = "ppcsim/internal/obs"
 
+// detrandExemptDefault excludes the HTTP serving layer: it measures real
+// request latency and deadlines, so wall-clock reads there are the
+// point, not a determinism leak. The simulator itself (everything the
+// serving layer calls into) remains covered.
+const detrandExemptDefault = "ppcsim/internal/serve,ppcsim/cmd/ppc-serve"
+
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	fixtures := flag.Bool("fixtures", false, "run the analyzer fixture self-check and exit")
-	detrandExempt := flag.String("detrand.exempt", "", "comma-separated import-path prefixes detrand skips")
+	detrandExempt := flag.String("detrand.exempt", detrandExemptDefault, "comma-separated import-path prefixes detrand skips")
 	obsguardSkip := flag.String("obsguard.skip", obsguardSkipDefault, "comma-separated import paths obsguard skips")
 	flag.Usage = usage
 	flag.Parse()
@@ -78,7 +84,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: ppc-vet [flags] [packages]\n\nanalyzers:\n")
-	for _, a := range configuredAnalyzers("", obsguardSkipDefault) {
+	for _, a := range configuredAnalyzers(detrandExemptDefault, obsguardSkipDefault) {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprintf(os.Stderr, "\nflags:\n")

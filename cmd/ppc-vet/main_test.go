@@ -33,7 +33,7 @@ func TestDogfoodTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module analysis in -short mode")
 	}
-	diags, err := vet("../..", []string{"./..."}, configuredAnalyzers("", obsguardSkipDefault))
+	diags, err := vet("../..", []string{"./..."}, configuredAnalyzers(detrandExemptDefault, obsguardSkipDefault))
 	if err != nil {
 		t.Fatalf("vet: %v", err)
 	}

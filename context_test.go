@@ -1,0 +1,85 @@
+package ppcsim_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ppcsim"
+)
+
+// TestRunContextCancel covers the cooperative cancellation path: a
+// canceled context stops the engine loop with an error that matches both
+// ppcsim.ErrCanceled and the context's own cause.
+func TestRunContextCancel(t *testing.T) {
+	tr, err := ppcsim.NewTrace("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ppcsim.Options{Trace: tr, Algorithm: ppcsim.Aggressive, Disks: 4}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the run must stop at the first check
+	_, err = ppcsim.RunContext(ctx, opts)
+	if !errors.Is(err, ppcsim.ErrCanceled) {
+		t.Fatalf("err = %v, want ppcsim.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, should also match context.Canceled", err)
+	}
+}
+
+// TestRunContextDeadlineExpired: an already-expired deadline must abort
+// the run for every algorithm before any work happens. This is the
+// deterministic form of the timeout guarantee: the engine promises to
+// stop at the next iteration boundary once the context is done, while a
+// live sub-10ms timer may not fire at all before a short run completes
+// (Go delivers timers to a CPU-bound loop only at preemption points).
+func TestRunContextDeadlineExpired(t *testing.T) {
+	tr, err := ppcsim.NewTrace("xds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []ppcsim.Algorithm{
+		ppcsim.Demand, ppcsim.FixedHorizon, ppcsim.Aggressive,
+		ppcsim.ReverseAggressive, ppcsim.Forestall,
+	} {
+		t.Run(string(alg), func(t *testing.T) {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			defer cancel()
+			opts := ppcsim.Options{Trace: tr, Algorithm: alg, Disks: 2}
+			_, err := ppcsim.RunContext(ctx, opts)
+			if !errors.Is(err, ppcsim.ErrCanceled) {
+				t.Fatalf("err = %v, want ppcsim.ErrCanceled", err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("err = %v, should also match context.DeadlineExceeded", err)
+			}
+		})
+	}
+}
+
+// TestRunContextNilMatchesRun: a nil context must change nothing — the
+// plain Run path and RunContext(nil) produce identical results.
+func TestRunContextNilMatchesRun(t *testing.T) {
+	tr, err := ppcsim.NewTrace("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr = tr.Truncate(2000)
+	opts := ppcsim.Options{Trace: tr, Algorithm: ppcsim.Forestall, Disks: 2}
+
+	want, err := ppcsim.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ppcsim.RunContext(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RunContext(nil) = %+v\nRun = %+v", got, want)
+	}
+}

@@ -6,8 +6,7 @@ import (
 	"testing/quick"
 
 	"ppcsim"
-	"ppcsim/internal/layout"
-	"ppcsim/internal/trace"
+	"ppcsim/internal/trace/tracetest"
 )
 
 // The hints extension: the paper's section 6 notes the study covers only
@@ -129,19 +128,10 @@ func TestHintsRandomTraces(t *testing.T) {
 	algs := []ppcsim.Algorithm{ppcsim.Demand, ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall, ppcsim.DemandLRU}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		nBlocks := 5 + rng.Intn(40)
-		n := 30 + rng.Intn(300)
-		tr := &trace.Trace{
-			Name:        "random",
-			Files:       []layout.File{{First: 0, Blocks: nBlocks}},
-			CacheBlocks: 2 + rng.Intn(nBlocks+4),
-		}
-		for i := 0; i < n; i++ {
-			tr.Refs = append(tr.Refs, trace.Ref{
-				Block:     layout.BlockID(rng.Intn(nBlocks)),
-				ComputeMs: rng.Float64() * 4,
-			})
-		}
+		tr := tracetest.Random(rng, tracetest.RandomConfig{
+			MaxBlocks: 44, MaxRefs: 329, MaxComputeMs: 4,
+		})
+		n := len(tr.Refs)
 		h := &ppcsim.HintSpec{
 			Fraction: rng.Float64(),
 			Accuracy: rng.Float64(),

@@ -8,18 +8,14 @@ import (
 	"testing/quick"
 
 	"ppcsim"
-	"ppcsim/internal/layout"
-	"ppcsim/internal/trace"
+	"ppcsim/internal/trace/tracetest"
 )
 
-// truncated returns a scaled-down bundled trace for fast integration runs.
+// truncated returns a scaled-down bundled trace for fast integration
+// runs, sharing tracetest's per-process generation cache.
 func truncated(t *testing.T, name string, n int) *ppcsim.Trace {
 	t.Helper()
-	tr, err := ppcsim.NewTrace(name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return tr.Truncate(n)
+	return tracetest.Truncated(t, name, n)
 }
 
 // TestAllAlgorithmsAllTraces runs every algorithm on a slice of every
@@ -229,20 +225,10 @@ func TestPlacementSeedChangesLayoutNotCorrectness(t *testing.T) {
 func TestRandomTracesAllAlgorithms(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		nBlocks := 5 + rng.Intn(60)
-		n := 30 + rng.Intn(500)
-		tr := &trace.Trace{
-			Name:        "random",
-			Files:       []layout.File{{First: 0, Blocks: nBlocks}},
-			PlaceByFile: rng.Intn(2) == 0,
-			CacheBlocks: 2 + rng.Intn(nBlocks+4),
-		}
-		for i := 0; i < n; i++ {
-			tr.Refs = append(tr.Refs, trace.Ref{
-				Block:     layout.BlockID(rng.Intn(nBlocks)),
-				ComputeMs: rng.Float64() * 5,
-			})
-		}
+		tr := tracetest.Random(rng, tracetest.RandomConfig{
+			MaxBlocks: 64, MaxRefs: 529, RandomPlacement: true,
+		})
+		n := len(tr.Refs)
 		disks := 1 + rng.Intn(6)
 		for _, alg := range ppcsim.Algorithms {
 			r, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: disks})

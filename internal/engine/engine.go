@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -56,7 +57,22 @@ type Config struct {
 	// nil — the default — every emission point reduces to one nil check,
 	// so an unobserved run pays nothing.
 	Observer obs.Observer
+	// Ctx, when non-nil, cancels the run cooperatively: the event loop
+	// polls Ctx.Done() each iteration and aborts with Ctx.Err() wrapped
+	// in ErrCanceled. A nil Ctx costs one nil check per iteration; a set
+	// one adds a non-blocking channel poll, cheap next to the disk-model
+	// and heap work an iteration already does. The guarantee is that a
+	// done context stops the run at the next iteration boundary; how
+	// quickly a live timer MAKES the context done is up to the Go
+	// runtime (a CPU-bound loop can delay timer delivery until async
+	// preemption, ~10ms), so sub-10ms deadlines may resolve only after
+	// short runs complete.
+	Ctx context.Context
 }
+
+// ErrCanceled wraps the context error of a run aborted through
+// Config.Ctx; test with errors.Is(err, engine.ErrCanceled).
+var ErrCanceled = fmt.Errorf("engine: run canceled")
 
 // HintSpec models incomplete or inaccurate application hints — the
 // generalization the paper's section 6 leaves open ("we have not
@@ -614,7 +630,19 @@ func Run(cfg Config) (Result, error) {
 			return Result{}, s.issueErr
 		}
 	}
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
 	for cursor := 0; cursor < n; {
+		if done != nil {
+			select {
+			case <-done:
+				return Result{}, fmt.Errorf("%w after %d of %d references: %w",
+					ErrCanceled, cursor, n, cfg.Ctx.Err())
+			default:
+			}
+		}
 		// Next disk completion, if any (maintained incrementally by
 		// refreshDrive; idle drives never surface).
 		nextDisk, diskAt := s.minBusyIdx, s.minBusyEnd

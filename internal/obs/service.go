@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a concurrency-safe monotonically increasing counter for
+// service-level metrics (requests served, cache hits, rejections). The
+// zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// SyncHistogram is a Histogram safe for concurrent observers — the
+// service-side counterpart of the single-threaded simulation histogram,
+// sharing its log-bucketed layout and ~5% quantile resolution. The zero
+// value is ready to use.
+type SyncHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Observe adds one sample (a millisecond duration).
+func (s *SyncHistogram) Observe(v float64) {
+	s.mu.Lock()
+	s.h.Observe(v)
+	s.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (s *SyncHistogram) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Count()
+}
+
+// MeanMs returns the exact sample mean, or 0 with no samples.
+func (s *SyncHistogram) MeanMs() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.MeanMs()
+}
+
+// Quantile returns an estimate of the q-quantile; see Histogram.Quantile.
+func (s *SyncHistogram) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Quantile(q)
+}

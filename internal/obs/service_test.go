@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1005 {
+		t.Errorf("count = %d, want %d", got, 8*1005)
+	}
+}
+
+func TestSyncHistogramConcurrent(t *testing.T) {
+	var h SyncHistogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 500; j++ {
+				h.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Fatalf("count = %d, want 2000", h.Count())
+	}
+	if mean := h.MeanMs(); mean < 250 || mean > 252 {
+		t.Errorf("mean = %g, want ~250.5", mean)
+	}
+	p50 := h.Quantile(0.50)
+	// Log buckets give ~5% resolution around the true median of 250.
+	if p50 < 225 || p50 > 275 {
+		t.Errorf("p50 = %g, want ~250", p50)
+	}
+	if h.Quantile(0.99) < p50 {
+		t.Error("q99 below q50")
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a concurrency-safe LRU of canonical request key →
+// serialized Result JSON. Serving a caching simulator is itself a
+// caching problem: request streams are repeated and skewed (the MITHRIL
+// regime), so an LRU over completed runs absorbs the hot keys while the
+// worker pool handles the cold tail. Values are the exact bytes sent to
+// clients, so hits are byte-identical to the first response.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached bytes for key and marks the entry most
+// recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// put stores val under key, evicting the least recently used entry when
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *resultCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*cacheEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ppcsim"
+)
+
+var (
+	bundledMu sync.Mutex
+	bundled   = map[string]*ppcsim.Trace{}
+)
+
+// FuzzParseOptions throws arbitrary bytes at the full request boundary:
+// JSON decoding, field validation, canonical-key construction, and
+// option assembly (which ends in ppcsim.Options.Validate and exercises
+// ParseAlgorithm/ParseDiscipline). The invariants: never panic, reject
+// only with *ppcsim.ConfigError, and anything accepted has a stable
+// canonical key and assembles into validated options.
+func FuzzParseOptions(f *testing.F) {
+	f.Add(`{"trace":"synth","algorithm":"forestall","disks":4,"cache_blocks":100}`)
+	f.Add(`{"trace_text":"ppctrace t false 4\nfile 2\nr 0 1\nr 1 0.5\n","algorithm":"demand"}`)
+	f.Add(`{"trace":"xds","algorithm":"fixed-horizon","scheduler":"fcfs","hints":{"fraction":0.5,"accuracy":0.9,"seed":7}}`)
+	f.Add(`{"trace":"synth","algorithm":"aggressive","disks":0}`)
+	f.Add(`{"trace":"synth","algorithm":"nope","cache_blocks":-1}`)
+	f.Add(`{"algorithm":"demand","timeout_ms":1e300}`)
+	f.Add(`{`)
+	f.Add(`nullnull`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := ParseRequest([]byte(body))
+		if err != nil {
+			var cfgErr *ppcsim.ConfigError
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("rejection is not a ConfigError: %T %v", err, err)
+			}
+			if cfgErr.Field == "" {
+				t.Fatalf("ConfigError without a field: %v", err)
+			}
+			return
+		}
+		key := req.Key()
+		if key == "" {
+			t.Fatal("accepted request produced an empty key")
+		}
+		if key != req.Key() {
+			t.Fatal("Key is not deterministic")
+		}
+		opts, err := req.Options(loadBundled)
+		if err != nil {
+			var cfgErr *ppcsim.ConfigError
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("option assembly error is not a ConfigError: %T %v", err, err)
+			}
+			return
+		}
+		// Options promised to finish with Validate; double-check.
+		if err := opts.Validate(); err != nil {
+			t.Fatalf("assembled options fail validation: %v", err)
+		}
+	})
+}
+
+// loadBundled resolves bundled trace names for the fuzz target without a
+// Server (memoized: the generators are deterministic but not free).
+func loadBundled(name string) (*ppcsim.Trace, error) {
+	bundledMu.Lock()
+	defer bundledMu.Unlock()
+	if tr, ok := bundled[name]; ok {
+		return tr, nil
+	}
+	tr, err := ppcsim.NewTrace(name)
+	if err != nil {
+		return nil, err
+	}
+	bundled[name] = tr
+	return tr, nil
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull reports that the bounded job queue had no free slot; the
+// HTTP layer maps it to 429 with a Retry-After header.
+var ErrQueueFull = errors.New("serve: simulation queue full")
+
+// ErrClosed reports a submission after drain began; the HTTP layer maps
+// it to 503.
+var ErrClosed = errors.New("serve: server shutting down")
+
+// pool runs jobs on a fixed set of workers fed by a bounded queue. The
+// queue bound is the service's backpressure mechanism: a submit that
+// finds it full fails immediately instead of queueing unbounded work,
+// and drain guarantees every accepted job still runs.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts workers goroutines consuming a queue of depth slots.
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues job without blocking. It returns ErrQueueFull when
+// every queue slot is taken and ErrClosed after drain began. A nil
+// return means the job is accepted: it will run even if drain starts
+// immediately afterwards.
+func (p *pool) submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth returns the number of accepted jobs not yet picked up by a
+// worker.
+func (p *pool) depth() int { return len(p.jobs) }
+
+// drain stops intake and blocks until every accepted job has finished.
+// Safe to call more than once.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

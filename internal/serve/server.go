@@ -1,0 +1,385 @@
+// Package serve exposes the simulator as a concurrent HTTP service: a
+// bounded worker pool runs simulations, an LRU result cache with
+// singleflight deduplication absorbs repeated and concurrent identical
+// requests, and a bounded queue applies backpressure (429 + Retry-After)
+// when the pool is saturated. Per-request deadlines cancel the engine
+// cooperatively (ppcsim.RunContext), and shutdown drains every accepted
+// request before returning.
+//
+// Endpoints:
+//
+//	POST /simulate  run (or serve from cache) one simulation; JSON in/out
+//	GET  /healthz   liveness and drain state
+//	GET  /statsz    queue depth, cache hit rate, latency percentiles
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppcsim"
+	"ppcsim/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value selects the defaults
+// noted on each field.
+type Config struct {
+	// Workers is the number of concurrent simulations (default
+	// runtime.GOMAXPROCS(0) — the simulator is CPU bound, so more workers
+	// than cores only adds contention).
+	Workers int
+	// QueueDepth bounds the accepted-but-not-started request queue
+	// (default 4×Workers). A full queue rejects with 429.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024 entries).
+	CacheEntries int
+	// MaxBodyBytes bounds the request body, which may carry an inline
+	// trace (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request simulation deadline when the
+	// request does not set timeout_ms (default 60s; negative disables).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps a request-supplied timeout_ms (default: the
+	// resolved DefaultTimeout).
+	MaxTimeout time.Duration
+	// Runner executes one simulation (default ppcsim.RunContext). Tests
+	// substitute instrumented runners.
+	Runner func(ctx context.Context, opts ppcsim.Options) (ppcsim.Result, error)
+}
+
+// Server is the simulation service. Create with New, expose via
+// Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *resultCache
+	group flightGroup
+	mux   *http.ServeMux
+
+	traceMu sync.Mutex
+	traces  map[string]*ppcsim.Trace
+
+	draining atomic.Bool
+
+	// Service-level counters (see /statsz).
+	requests  obs.Counter // POST /simulate bodies decoded
+	completed obs.Counter // 200 responses from fresh runs
+	failed    obs.Counter // 500 responses
+	rejected  obs.Counter // 429 responses (queue full)
+	timeouts  obs.Counter // 504 responses (deadline exceeded)
+	deduped   obs.Counter // requests that joined another request's run
+	cacheHits obs.Counter // served straight from the result cache
+	cacheMiss obs.Counter
+	runs      obs.Counter // underlying simulations actually executed
+	latency   obs.SyncHistogram
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	if cfg.MaxTimeout == 0 {
+		cfg.MaxTimeout = cfg.DefaultTimeout
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = ppcsim.RunContext
+	}
+	s := &Server{
+		cfg:    cfg,
+		pool:   newPool(cfg.Workers, cfg.QueueDepth),
+		cache:  newResultCache(cfg.CacheEntries),
+		traces: make(map[string]*ppcsim.Trace),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the service: intake stops (new submissions get 503), and
+// Close blocks until every accepted simulation has finished, so no
+// request that got past backpressure is lost. Idempotent.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.drain()
+}
+
+// errorBody is the JSON error form of every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+	// Field names the offending request field for 400s, mirroring
+	// ppcsim.ConfigError.
+	Field string `json:"field,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := errorBody{Error: err.Error()}
+	var cfgErr *ppcsim.ConfigError
+	if errors.As(err, &cfgErr) {
+		body.Field = cfgErr.Field
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	s.requests.Inc()
+	req, err := ParseRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := req.Key()
+	if cached, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		s.writeResult(w, cached, "hit")
+		return
+	}
+	s.cacheMiss.Inc()
+	val, err, shared := s.group.do(key, func() ([]byte, error) {
+		// Double-check the cache inside the flight: a previous leader may
+		// have filled it between our lookup and joining the group.
+		if cached, ok := s.cache.get(key); ok {
+			return cached, nil
+		}
+		return s.execute(req, key)
+	})
+	if shared {
+		s.deduped.Inc()
+	}
+	switch {
+	case err == nil:
+		s.writeResult(w, val, "miss")
+	case errors.Is(err, ErrQueueFull):
+		s.rejected.Inc()
+		// The queue holds at most QueueDepth simulations ahead of a
+		// retry; one second is a sane lower bound for a slot to free.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ppcsim.ErrCanceled):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		var cfgErr *ppcsim.ConfigError
+		if errors.As(err, &cfgErr) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		s.failed.Inc()
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// writeResult sends a cached or fresh Result JSON body. The bytes are
+// written exactly as cached, so every response for a key is
+// byte-identical; only the X-Cache header distinguishes hits.
+func (s *Server) writeResult(w http.ResponseWriter, body []byte, xcache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", xcache)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// execute resolves the request into options, runs it on the worker pool
+// under its deadline, and caches the serialized result. Called at most
+// once per in-flight key (the singleflight leader).
+func (s *Server) execute(req *Request, key string) ([]byte, error) {
+	opts, err := req.Options(s.loadTrace)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if timeout := s.timeoutFor(req); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	var (
+		res    ppcsim.Result
+		runErr error
+		done   = make(chan struct{})
+	)
+	start := time.Now()
+	job := func() {
+		defer close(done)
+		defer func() {
+			// A panicking simulation must not take a worker (and with it
+			// the whole drain protocol) down; surface it as a 500.
+			if p := recover(); p != nil {
+				runErr = fmt.Errorf("serve: simulation panic: %v", p)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			// The deadline expired while the job sat in the queue.
+			runErr = fmt.Errorf("%w before starting: %w", ppcsim.ErrCanceled, err)
+			return
+		}
+		s.runs.Inc()
+		res, runErr = s.cfg.Runner(ctx, opts)
+	}
+	if err := s.pool.submit(job); err != nil {
+		return nil, err
+	}
+	<-done
+	s.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if runErr != nil {
+		return nil, runErr
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(key, body)
+	s.completed.Inc()
+	return body, nil
+}
+
+// timeoutFor resolves a request's simulation deadline: the request's
+// timeout_ms clamped to MaxTimeout, or DefaultTimeout when unset.
+// Non-positive resolved values disable the deadline.
+func (s *Server) timeoutFor(req *Request) time.Duration {
+	if req.TimeoutMs > 0 {
+		t := time.Duration(req.TimeoutMs * float64(time.Millisecond))
+		if t > s.cfg.MaxTimeout {
+			t = s.cfg.MaxTimeout
+		}
+		return t
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// loadTrace returns a bundled trace, generating it once and caching it
+// for the server's lifetime (the generators are deterministic, and
+// nothing downstream mutates a loaded trace).
+func (s *Server) loadTrace(name string) (*ppcsim.Trace, error) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if tr, ok := s.traces[name]; ok {
+		return tr, nil
+	}
+	tr, err := ppcsim.NewTrace(name)
+	if err != nil {
+		return nil, err
+	}
+	s.traces[name] = tr
+	return tr, nil
+}
+
+// Stats is the /statsz response.
+type Stats struct {
+	Draining      bool `json:"draining"`
+	Workers       int  `json:"workers"`
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Timeouts  int64 `json:"timeouts"`
+	Deduped   int64 `json:"deduped"`
+
+	CacheEntries  int     `json:"cache_entries"`
+	CacheCapacity int     `json:"cache_capacity"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+
+	Simulations int64 `json:"simulations"`
+
+	LatencyCount  int64   `json:"latency_count"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+}
+
+// Snapshot collects the current service statistics.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Draining:      s.draining.Load(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.pool.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Requests:      s.requests.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Deduped:       s.deduped.Load(),
+		CacheEntries:  s.cache.len(),
+		CacheCapacity: s.cfg.CacheEntries,
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMiss.Load(),
+		Simulations:   s.runs.Load(),
+		LatencyCount:  s.latency.Count(),
+		LatencyMeanMs: s.latency.MeanMs(),
+		LatencyP50Ms:  s.latency.Quantile(0.50),
+		LatencyP95Ms:  s.latency.Quantile(0.95),
+		LatencyP99Ms:  s.latency.Quantile(0.99),
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestServeStress hammers a live server with mixed concurrent traffic —
+// repeated keys, distinct keys, inline traces, and invalid requests —
+// and checks the service invariants hold under load. The CI race job
+// runs this under -race, which is the real assertion: the cache,
+// singleflight group, pool, and counters must be data-race free while
+// saturated.
+func TestServeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test in -short mode")
+	}
+	s := New(Config{Workers: 4, QueueDepth: 8})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A small request mix. All valid entries use tiny inline traces so a
+	// single run is cheap; two of them share a body (and therefore a key),
+	// and one is always invalid.
+	tiny := inlineTrace("stress", 32, 200)
+	mix := []struct {
+		body  string
+		valid bool
+	}{
+		{fmt.Sprintf(`{"trace_text":%q,"algorithm":"demand"}`, tiny), true},
+		{fmt.Sprintf(`{"trace_text":%q,"algorithm":"demand"}`, tiny), true}, // same key as above
+		{fmt.Sprintf(`{"trace_text":%q,"algorithm":"aggressive","disks":2}`, tiny), true},
+		{fmt.Sprintf(`{"trace_text":%q,"algorithm":"forestall","disks":2,"cache_blocks":8}`, tiny), true},
+		{fmt.Sprintf(`{"trace_text":%q,"algorithm":"fixed-horizon","disks":4}`, tiny), true},
+		{fmt.Sprintf(`{"trace_text":%q,"algorithm":"reverse-aggressive"}`, tiny), true},
+		{`{"trace":"nope","algorithm":"demand"}`, false},
+		{`{"trace_text":"bad","algorithm":"demand"}`, false},
+	}
+
+	const (
+		goroutines = 8
+		rounds     = 40
+	)
+	var (
+		mu     sync.Mutex
+		bodies = map[string][]byte{} // request body -> first 200 response
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				m := mix[(g+i)%len(mix)]
+				resp, got := post(t, ts, m.body)
+				switch {
+				case !m.valid:
+					if resp.StatusCode != http.StatusBadRequest {
+						t.Errorf("invalid request: status %d", resp.StatusCode)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					// Backpressure under saturation is a correct outcome.
+				case resp.StatusCode == http.StatusOK:
+					mu.Lock()
+					if prev, ok := bodies[m.body]; !ok {
+						bodies[m.body] = got
+					} else if !bytes.Equal(prev, got) {
+						t.Errorf("same request produced different bodies:\n%s\nvs\n%s", prev, got)
+					}
+					mu.Unlock()
+				default:
+					t.Errorf("valid request: status %d, want 200 or 429", resp.StatusCode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Successful runs cache forever here (the cache holds 1024 entries),
+	// so the number of underlying simulations is bounded by the distinct
+	// valid keys: every repeat was a cache hit or a deduplicated flight.
+	distinct := 5 // mix entries 0/1 share a key; entries 2-5 add one each
+	if runs := s.runs.Load(); runs > int64(distinct) {
+		t.Errorf("%d simulations for %d distinct keys — caching or dedup leak", runs, distinct)
+	}
+	st := s.Snapshot()
+	if st.Requests == 0 || st.CacheHits == 0 {
+		t.Errorf("implausible stats after stress: %+v", st)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"testing"
 )
 
-// FuzzRead checks the trace parser never panics and that anything it
-// accepts is valid and round-trips.
-func FuzzRead(f *testing.F) {
+// FuzzParseTrace checks the trace parser never panics and that anything
+// it accepts is valid and round-trips. Seed inputs live both here and in
+// testdata/fuzz/FuzzParseTrace, so `go test` replays the corpus and the
+// CI fuzz smoke extends it.
+func FuzzParseTrace(f *testing.F) {
 	f.Add("ppctrace t true 16\nfile 4\nr 0 1.0\nr 3 0.25\nw 1 0.5\n")
 	f.Add("ppctrace x false 2\nfile 1\nr 0 0\n")
 	f.Add("")

@@ -1,0 +1,71 @@
+package tracetest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBundledCachesAndValidates(t *testing.T) {
+	a := Bundled(t, "synth")
+	b := Bundled(t, "synth")
+	if a != b {
+		t.Error("Bundled regenerated instead of caching")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cut := Truncated(t, "synth", 100)
+	if len(cut.Refs) != 100 {
+		t.Errorf("Truncated returned %d refs", len(cut.Refs))
+	}
+	if cut == a {
+		t.Error("Truncated must copy, not alias the cached trace")
+	}
+}
+
+func TestBuildersProduceValidTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i, tr := range []interface {
+		Validate() error
+	}{
+		Random(rng, RandomConfig{}),
+		Random(rng, RandomConfig{MaxBlocks: 10, MaxRefs: 40, MaxComputeMs: 1, RandomPlacement: true}),
+		Loop("l", 8, 50, 2),
+		Strided("s", 9, 50, 4, 1),
+		Repeat(Loop("l", 8, 50, 2), 3),
+	} {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("builder %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomIsDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewSource(7)), RandomConfig{})
+	b := Random(rand.New(rand.NewSource(7)), RandomConfig{})
+	if len(a.Refs) != len(b.Refs) || a.CacheBlocks != b.CacheBlocks {
+		t.Fatalf("same seed, different traces: %d/%d refs, %d/%d cache",
+			len(a.Refs), len(b.Refs), a.CacheBlocks, b.CacheBlocks)
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("ref %d differs", i)
+		}
+	}
+}
+
+func TestRepeatShape(t *testing.T) {
+	base := Strided("s", 9, 30, 4, 1)
+	tripled := Repeat(base, 3)
+	if len(tripled.Refs) != 3*len(base.Refs) {
+		t.Fatalf("Repeat(3) has %d refs, want %d", len(tripled.Refs), 3*len(base.Refs))
+	}
+	if tripled.CacheBlocks != base.CacheBlocks {
+		t.Error("Repeat changed the cache size")
+	}
+	for i, r := range tripled.Refs {
+		if r != base.Refs[i%len(base.Refs)] {
+			t.Fatalf("ref %d does not repeat the base sequence", i)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package ppcsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppcsim"
+	"ppcsim/internal/trace/tracetest"
+)
+
+// Metamorphic invariants: relations between runs that must hold for any
+// trace, checked on small synthetic workloads across every prefetching
+// algorithm and array size. Unlike the appendix-table claims these need
+// no golden numbers — they compare the simulator against itself, so they
+// survive disk-model changes that shift absolute results.
+
+// metaAlgs are the paper's four prefetching/caching algorithms.
+var metaAlgs = []ppcsim.Algorithm{
+	ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.ReverseAggressive, ppcsim.Forestall,
+}
+
+var metaDisks = []int{1, 2, 4}
+
+// metaTraces is the synthetic workload mix: cyclic reuse, a cache-busting
+// stride, and a seeded random trace.
+func metaTraces() []*ppcsim.Trace {
+	return []*ppcsim.Trace{
+		tracetest.Loop("loop", 32, 400, 2),
+		tracetest.Strided("stride", 48, 400, 7, 1),
+		tracetest.Random(rand.New(rand.NewSource(11)), tracetest.RandomConfig{
+			MaxBlocks: 48, MaxRefs: 400,
+		}),
+	}
+}
+
+func metaRun(t *testing.T, tr *ppcsim.Trace, alg ppcsim.Algorithm, disks, cache int) ppcsim.Result {
+	t.Helper()
+	r, err := ppcsim.Run(ppcsim.Options{
+		Trace: tr, Algorithm: alg, Disks: disks, CacheBlocks: cache,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s/d=%d/c=%d: %v", tr.Name, alg, disks, cache, err)
+	}
+	return r
+}
+
+// metaTolerance absorbs scheduling noise in the comparisons: the
+// invariants are structural, but batching boundaries and CSCAN sweep
+// positions can nudge elapsed time by a fraction of a percent.
+const metaTolerance = 1.02
+
+// TestMetamorphicPrefetchBeatsDemand: every prefetching algorithm must
+// finish no later than demand fetching with the same optimal
+// replacement — prefetching only overlaps fetches with compute it would
+// otherwise stall through.
+func TestMetamorphicPrefetchBeatsDemand(t *testing.T) {
+	for _, tr := range metaTraces() {
+		for _, d := range metaDisks {
+			demand := metaRun(t, tr, ppcsim.Demand, d, 0)
+			for _, alg := range metaAlgs {
+				r := metaRun(t, tr, alg, d, 0)
+				if r.ElapsedSec > demand.ElapsedSec*metaTolerance {
+					t.Errorf("%s/d=%d: %s elapsed %.4fs exceeds demand %.4fs",
+						tr.Name, d, alg, r.ElapsedSec, demand.ElapsedSec)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicCacheMonotone: growing the cache never slows a run.
+// The invariant has three true forms with different strengths. Demand
+// fetching with optimal replacement is pairwise monotone on any trace —
+// extra blocks only remove fetches. Prefetchers are pairwise monotone on
+// workloads with reuse, but only within a queueing tolerance: a bigger
+// cache admits more in-flight prefetches, and CSCAN sweep reordering can
+// delay the demand stream (the effect batching exists to bound), which
+// on a pure-miss stride stream breaks pairwise monotonicity outright.
+// Even there, though, the fully-resident cache beats every smaller size.
+func TestMetamorphicCacheMonotone(t *testing.T) {
+	sizes := []int{4, 8, 16, 32, 64}
+
+	t.Run("demand-pairwise", func(t *testing.T) {
+		for _, tr := range metaTraces() {
+			for _, d := range metaDisks {
+				prev, prevSize := -1.0, 0
+				for _, c := range sizes {
+					r := metaRun(t, tr, ppcsim.Demand, d, c)
+					if prev >= 0 && r.ElapsedSec > prev*metaTolerance {
+						t.Errorf("%s/d=%d: cache %d→%d raised elapsed %.4fs→%.4fs",
+							tr.Name, d, prevSize, c, prev, r.ElapsedSec)
+					}
+					prev, prevSize = r.ElapsedSec, c
+				}
+			}
+		}
+	})
+
+	t.Run("prefetch-pairwise-on-reuse", func(t *testing.T) {
+		// 5%: forestall's prefetch-queueing wobble on the loop trace
+		// reaches ~3% between small cache sizes.
+		const queueTolerance = 1.05
+		reuse := []*ppcsim.Trace{
+			tracetest.Loop("loop", 32, 400, 2),
+			tracetest.Random(rand.New(rand.NewSource(11)), tracetest.RandomConfig{
+				MaxBlocks: 48, MaxRefs: 400,
+			}),
+		}
+		for _, tr := range reuse {
+			for _, alg := range metaAlgs {
+				for _, d := range metaDisks {
+					prev, prevSize := -1.0, 0
+					for _, c := range sizes {
+						r := metaRun(t, tr, alg, d, c)
+						if prev >= 0 && r.ElapsedSec > prev*queueTolerance {
+							t.Errorf("%s/%s/d=%d: cache %d→%d raised elapsed %.4fs→%.4fs",
+								tr.Name, alg, d, prevSize, c, prev, r.ElapsedSec)
+						}
+						prev, prevSize = r.ElapsedSec, c
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("full-residency-global-min", func(t *testing.T) {
+		full := sizes[len(sizes)-1] // covers every trace's block space
+		for _, tr := range metaTraces() {
+			for _, alg := range metaAlgs {
+				for _, d := range metaDisks {
+					best := metaRun(t, tr, alg, d, full)
+					for _, c := range sizes[:len(sizes)-1] {
+						r := metaRun(t, tr, alg, d, c)
+						if best.ElapsedSec > r.ElapsedSec*metaTolerance {
+							t.Errorf("%s/%s/d=%d: full cache %.4fs loses to cache %d at %.4fs",
+								tr.Name, alg, d, best.ElapsedSec, c, r.ElapsedSec)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestMetamorphicDuplicateSubadditive: running the trace twice
+// back-to-back costs at most twice one run — the second pass starts with
+// a warm cache, so it can only be cheaper.
+func TestMetamorphicDuplicateSubadditive(t *testing.T) {
+	for _, tr := range metaTraces() {
+		doubled := tracetest.Repeat(tr, 2)
+		for _, alg := range metaAlgs {
+			for _, d := range metaDisks {
+				one := metaRun(t, tr, alg, d, 0)
+				two := metaRun(t, doubled, alg, d, 0)
+				if two.ElapsedSec > 2*one.ElapsedSec*metaTolerance {
+					t.Errorf("%s/%s/d=%d: doubled trace elapsed %.4fs exceeds 2x single %.4fs",
+						tr.Name, alg, d, two.ElapsedSec, one.ElapsedSec)
+				}
+				if served := two.CacheHits + two.CacheMisses; served != int64(2*len(tr.Refs)) {
+					t.Errorf("%s/%s/d=%d: doubled trace served %d of %d refs",
+						tr.Name, alg, d, served, 2*len(tr.Refs))
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicMoreDisksNoSlower: adding drives to the array never
+// lengthens a run (striping only adds parallel fetch capacity).
+func TestMetamorphicMoreDisksNoSlower(t *testing.T) {
+	for _, tr := range metaTraces() {
+		for _, alg := range metaAlgs {
+			prev := -1.0
+			prevD := 0
+			for _, d := range metaDisks {
+				r := metaRun(t, tr, alg, d, 0)
+				if prev >= 0 && r.ElapsedSec > prev*metaTolerance {
+					t.Errorf("%s/%s: disks %d→%d raised elapsed %.4fs→%.4fs",
+						tr.Name, alg, prevD, d, prev, r.ElapsedSec)
+				}
+				prev, prevD = r.ElapsedSec, d
+			}
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 // ParseAlgorithm converts a user-supplied name (a CLI flag, a config
 // value) into an Algorithm, rejecting anything that Run would not
 // accept. Matching is case-insensitive and ignores surrounding space.
+// Failures are *ConfigError values (field "Algorithm"), so CLI and HTTP
+// boundaries report them uniformly with Options.Validate's errors.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	name := Algorithm(strings.ToLower(strings.TrimSpace(s)))
 	for _, a := range Algorithms {
@@ -15,7 +17,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 			return a, nil
 		}
 	}
-	return "", fmt.Errorf("ppcsim: unknown algorithm %q (valid: %s)", s, algorithmNames())
+	return "", &ConfigError{
+		Field:  "Algorithm",
+		Reason: fmt.Sprintf("unknown algorithm %q (valid: %s)", s, algorithmNames()),
+	}
 }
 
 func algorithmNames() string {
@@ -27,7 +32,8 @@ func algorithmNames() string {
 }
 
 // ParseDiscipline converts a user-supplied scheduler name ("cscan" or
-// "fcfs", case-insensitive) into a Discipline.
+// "fcfs", case-insensitive) into a Discipline. Failures are *ConfigError
+// values (field "Scheduler").
 func ParseDiscipline(s string) (Discipline, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "cscan":
@@ -35,7 +41,10 @@ func ParseDiscipline(s string) (Discipline, error) {
 	case "fcfs":
 		return FCFS, nil
 	}
-	return CSCAN, fmt.Errorf("ppcsim: unknown disk scheduler %q (valid: cscan, fcfs)", s)
+	return CSCAN, &ConfigError{
+		Field:  "Scheduler",
+		Reason: fmt.Sprintf("unknown disk scheduler %q (valid: cscan, fcfs)", s),
+	}
 }
 
 // ConfigError reports an invalid Options field. Run and Options.Validate

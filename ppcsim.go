@@ -21,6 +21,7 @@
 package ppcsim
 
 import (
+	"context"
 	"fmt"
 
 	"ppcsim/internal/disk"
@@ -59,6 +60,12 @@ const (
 	CSCAN = disk.CSCAN
 	FCFS  = disk.FCFS
 )
+
+// ErrCanceled marks a run aborted through RunContext's context. The
+// returned error also wraps the context's own error, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.DeadlineExceeded)
+// hold for a timed-out run.
+var ErrCanceled = engine.ErrCanceled
 
 // Algorithm names an integrated prefetching and caching policy.
 type Algorithm string
@@ -172,7 +179,15 @@ func NewPolicy(opts Options) (engine.Policy, error) {
 // Run executes one simulation and returns its metrics. It validates the
 // options first (see Options.Validate); configuration errors are
 // *ConfigError values naming the offending field.
-func Run(opts Options) (Result, error) {
+func Run(opts Options) (Result, error) { return RunContext(nil, opts) }
+
+// RunContext is Run with cooperative cancellation: when ctx is non-nil,
+// the engine polls it periodically (every ~1k event-loop iterations) and
+// aborts with an error wrapping both engine.ErrCanceled and ctx.Err()
+// once the context is done. A nil or never-canceled context adds no
+// measurable cost. Services use it to enforce per-request deadlines on
+// long simulations.
+func RunContext(ctx context.Context, opts Options) (Result, error) {
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -194,6 +209,7 @@ func Run(opts Options) (Result, error) {
 		PlacementSeed:    opts.PlacementSeed,
 		Hints:            opts.Hints,
 		Observer:         opts.Observer,
+		Ctx:              ctx,
 	}
 	if opts.SimpleDiskModel {
 		cfg.Model = func() disk.Model { return disk.NewSimple() }
