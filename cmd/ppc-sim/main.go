@@ -41,6 +41,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		horizon   = fs.Int("horizon", 0, "prefetch horizon H for fixed-horizon/forestall (0 = 62)")
 		festimate = fs.Float64("f", 0, "reverse aggressive's fetch time estimate F (0 = 32)")
 		fixedF    = fs.Float64("forestall-f", 0, "fix forestall's F' instead of dynamic estimation")
+		window    = fs.Int("window", 0, "lookahead window in references (unset = unlimited hints)")
+		hintFrac  = fs.Float64("hint-fraction", 1, "fraction of references disclosed as hints")
+		hintAcc   = fs.Float64("hint-accuracy", 1, "probability a disclosed hint names the right block")
+		hintSeed  = fs.Int64("hint-seed", 0, "seed for hint disclosure/corruption draws")
 		overhead  = fs.Float64("driver-ms", 0, "driver overhead per request in ms (0 = 0.5, negative = none)")
 		simple    = fs.Bool("simple-disk", false, "use the simplified fixed-latency disk model")
 		seed      = fs.Int64("seed", 0, "data placement seed")
@@ -79,6 +83,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(&ppcsim.ConfigError{Field: "CacheBlocks",
 			Reason: fmt.Sprintf("must be positive, got %d", *cacheBlk)})
 	}
+	// The library's HintSpec uses Window 0 for "unlimited" and -1 for "no
+	// lookahead"; at the CLI, absent means unlimited and anything explicit
+	// must be a positive reference count.
+	if explicit["window"] && *window <= 0 {
+		return fail(&ppcsim.ConfigError{Field: "Window",
+			Reason: fmt.Sprintf("must be positive, got %d (omit the flag for unlimited lookahead)", *window)})
+	}
 
 	tr, err := ppcsim.NewTrace(*traceName)
 	if err != nil {
@@ -108,6 +119,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DriverOverheadMs: *overhead,
 		SimpleDiskModel:  *simple,
 		PlacementSeed:    *seed,
+	}
+	if *window > 0 || *hintFrac != 1 || *hintAcc != 1 { //ppcvet:ignore flag-default sentinels, parsed rather than computed
+		opts.Hints = &ppcsim.HintSpec{
+			Fraction: *hintFrac,
+			Accuracy: *hintAcc,
+			Seed:     *hintSeed,
+			Window:   *window,
+		}
 	}
 
 	// Attach observers only when an export was requested, so the default

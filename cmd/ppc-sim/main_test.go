@@ -28,6 +28,10 @@ func TestBoundaryExitCodes(t *testing.T) {
 		{"unknown trace", []string{"-trace", "bogus"}, 2, "Trace"},
 		{"negative batch", []string{"-alg", "aggressive", "-batch", "-1"}, 2, "BatchSize"},
 		{"negative horizon", []string{"-alg", "fixed-horizon", "-horizon", "-1"}, 2, "Horizon"},
+		{"zero window", []string{"-alg", "fixed-horizon", "-window", "0"}, 2, "Window"},
+		{"negative window", []string{"-alg", "fixed-horizon", "-window", "-4"}, 2, "Window"},
+		{"bad hint fraction", []string{"-alg", "fixed-horizon", "-hint-fraction", "1.5"}, 2, "hint fraction"},
+		{"windowed reverse-aggressive", []string{"-alg", "reverse-aggressive", "-window", "10"}, 2, "Hints"},
 		{"unparseable flag", []string{"-disks", "many"}, 2, ""},
 		{"unknown flag", []string{"-frobnicate"}, 2, ""},
 	}
@@ -52,6 +56,19 @@ func TestBoundaryExitCodes(t *testing.T) {
 				t.Errorf("failed run wrote to stdout: %s", stdout.String())
 			}
 		})
+	}
+}
+
+// TestRunWindowedSucceeds: a positive -window is accepted and the run
+// completes; the flag alone implies fully-accurate hints.
+func TestRunWindowedSucceeds(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-trace", "ld", "-alg", "fixed-horizon", "-window", "64"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "elapsed time (sec):") {
+		t.Errorf("output missing metrics:\n%s", stdout.String())
 	}
 }
 

@@ -71,6 +71,7 @@ type sweepSpec struct {
 	horizons []int
 	hintFrac float64
 	hintAcc  float64
+	window   int
 }
 
 // jobs expands the spec into the ordered job list (trace-major, matching
@@ -111,8 +112,8 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 		return err
 	}
 	var hints *ppcsim.HintSpec
-	if sp.hintFrac != 1 || sp.hintAcc != 1 { //ppcvet:ignore flag-default sentinels, parsed rather than computed
-		hints = &ppcsim.HintSpec{Fraction: sp.hintFrac, Accuracy: sp.hintAcc}
+	if sp.hintFrac != 1 || sp.hintAcc != 1 || sp.window > 0 { //ppcvet:ignore flag-default sentinels, parsed rather than computed
+		hints = &ppcsim.HintSpec{Fraction: sp.hintFrac, Accuracy: sp.hintAcc, Window: sp.window}
 	}
 	if parallel < 1 {
 		parallel = 1
@@ -153,7 +154,7 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"trace", "algorithm", "disks", "scheduler", "cache_blocks", "batch", "horizon",
-		"hint_fraction", "hint_accuracy",
+		"hint_fraction", "hint_accuracy", "window",
 		"elapsed_sec", "compute_sec", "driver_sec", "stall_sec",
 		"fetches", "avg_fetch_ms", "avg_response_ms", "avg_utilization",
 	}); err != nil {
@@ -169,6 +170,7 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 			j.traceName, string(j.alg), strconv.Itoa(j.disks), j.sched.String(),
 			strconv.Itoa(j.cache), strconv.Itoa(j.batch), strconv.Itoa(j.horizon),
 			fmt.Sprintf("%g", sp.hintFrac), fmt.Sprintf("%g", sp.hintAcc),
+			strconv.Itoa(sp.window),
 			fmt.Sprintf("%.4f", r.ElapsedSec),
 			fmt.Sprintf("%.4f", r.ComputeSec),
 			fmt.Sprintf("%.4f", r.DriverTimeSec),
@@ -197,6 +199,7 @@ func main() {
 		horizons = flag.String("horizons", "0", "comma-separated horizons (0 = 62)")
 		hintFrac = flag.Float64("hint-fraction", 1, "fraction of references disclosed")
 		hintAcc  = flag.Float64("hint-accuracy", 1, "accuracy of disclosed hints")
+		window   = flag.Int("window", 0, "lookahead window in references (0 = unlimited)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "number of concurrent simulations")
 		out      = flag.String("o", "", "output CSV file (default stdout)")
 	)
@@ -207,7 +210,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	sp := sweepSpec{hintFrac: *hintFrac, hintAcc: *hintAcc}
+	if *window < 0 {
+		die(&ppcsim.ConfigError{Field: "Window",
+			Reason: fmt.Sprintf("must be non-negative, got %d (0 = unlimited)", *window)})
+	}
+	sp := sweepSpec{hintFrac: *hintFrac, hintAcc: *hintAcc, window: *window}
 	sp.traces = splitList(*traces)
 	if len(sp.traces) == 1 && sp.traces[0] == "all" {
 		sp.traces = ppcsim.TraceNames

@@ -37,6 +37,20 @@ type Cache struct {
 
 	h evictHeap
 
+	// Partial-knowledge mode (EnableWindow): the replacement rule may use
+	// next-use positions only inside the lookahead window
+	// [cursor, cursor+window); for present blocks whose next use lies at
+	// or beyond that horizon it falls back to least-recently-used order,
+	// the TIP2-lineage behavior the window models. lastSeq and the lruHeap
+	// track recency by a monotone per-use sequence number; both stay nil
+	// in the default full-knowledge mode, which pays one branch per
+	// FurthestEvictable call and nothing else.
+	windowed bool
+	window   int
+	seq      int32
+	lastSeq  []int32
+	lru      lruHeap
+
 	// OnEvict, if set, is invoked whenever a present block leaves the
 	// cache — replaced by a fetch (replacement is the incoming block) or
 	// dropped (replacement is NoBlock) — with the victim's next-use
@@ -82,6 +96,34 @@ func (c *Cache) Absent(b layout.BlockID) bool { return c.st[b] == absent }
 // Hits and Misses count Reference outcomes.
 func (c *Cache) Hits() int64   { return c.hits }
 func (c *Cache) Misses() int64 { return c.misses }
+
+// EnableWindow switches the cache into partial-knowledge mode with a
+// lookahead of w references (w >= 0; 0 means no future visibility, so
+// replacement is pure LRU). Must be called before any block enters the
+// cache. An unlimited window is the default mode; callers model it by
+// not enabling a window at all.
+func (c *Cache) EnableWindow(w int) {
+	if w < 0 {
+		w = 0
+	}
+	c.windowed = true
+	c.window = w
+	c.lastSeq = make([]int32, len(c.st))
+}
+
+// Windowed reports whether EnableWindow was called.
+func (c *Cache) Windowed() bool { return c.windowed }
+
+// noteUse records a recency event for block b (fetch completion or the
+// cursor passing a reference to it) in windowed mode.
+func (c *Cache) noteUse(b layout.BlockID) {
+	if !c.windowed {
+		return
+	}
+	c.seq++
+	c.lastSeq[b] = c.seq
+	c.lru.push(lruEntry{block: b, seq: c.seq})
+}
 
 // MarkAlwaysPresent pins block b as permanently present without
 // occupying a buffer or becoming an eviction candidate. The engine uses
@@ -144,6 +186,7 @@ func (c *Cache) CompleteFetch(b layout.BlockID) {
 	}
 	c.st[b] = present
 	c.h.push(entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+	c.noteUse(b)
 }
 
 // Drop evicts a present block without starting a fetch (frees its buffer).
@@ -166,6 +209,7 @@ func (c *Cache) Drop(b layout.BlockID) error {
 func (c *Cache) Touched(b layout.BlockID) {
 	if c.st[b] == present {
 		c.h.push(entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+		c.noteUse(b)
 	}
 }
 
@@ -173,6 +217,13 @@ func (c *Cache) Touched(b layout.BlockID) {
 // furthest in the future, along with that position (future.Never if it is
 // never referenced again). It returns NoBlock if nothing is evictable.
 // Stale heap entries are discarded as they surface.
+//
+// In windowed mode the furthest-known rule only applies while every
+// present block's next use is inside the lookahead window. As soon as the
+// heap's top — the furthest of them all — lies at or beyond the horizon,
+// the policy cannot rank the beyond-horizon blocks, so the victim is the
+// least recently used among them and the reported position is
+// future.Never (all the policy knows is "not needed within the window").
 func (c *Cache) FurthestEvictable() (layout.BlockID, int) {
 	for len(c.h) > 0 {
 		top := c.h[0]
@@ -180,9 +231,95 @@ func (c *Cache) FurthestEvictable() (layout.BlockID, int) {
 			c.h.pop()
 			continue
 		}
+		if c.windowed {
+			if horizon := c.oracle.Cursor() + c.window; c.oracle.NextUseWithin(top.block, c.window) == future.Never {
+				if b, ok := c.leastRecentBeyond(horizon); ok {
+					return b, future.Never
+				}
+			}
+		}
 		return top.block, int(top.nextUse)
 	}
 	return NoBlock, -1
+}
+
+// leastRecentBeyond pops the least-recently-used present block whose next
+// use is at or beyond the horizon. Entries for blocks back inside the
+// window are discarded: before such a block can drift beyond the horizon
+// again the cursor must pass its next use, which (for an accurate hint)
+// re-touches it with a fresh entry. An inaccurate hint can skip that
+// touch — the cursor consumes the position without referencing the block —
+// in which case the block simply drops out of the LRU fallback and the
+// caller's furthest-known rule covers it instead.
+func (c *Cache) leastRecentBeyond(horizon int) (layout.BlockID, bool) {
+	for len(c.lru) > 0 {
+		top := c.lru[0]
+		if c.st[top.block] != present || top.seq != c.lastSeq[top.block] {
+			c.lru.pop()
+			continue
+		}
+		if u := c.oracle.NextUse(top.block); u != future.Never && u < horizon {
+			c.lru.pop()
+			continue
+		}
+		return top.block, true
+	}
+	return NoBlock, false
+}
+
+// lruEntry is one (possibly stale) recency record for the windowed-mode
+// fallback.
+type lruEntry struct {
+	block layout.BlockID
+	seq   int32
+}
+
+// lruHeap is a min-heap on the use-sequence number, hand-rolled with the
+// same hole-moving sifts as evictHeap. Sequence numbers are unique, so
+// the order is total and no tie-break subtlety arises.
+type lruHeap []lruEntry
+
+// push adds e and restores the heap invariant.
+func (h *lruHeap) push(e lruEntry) {
+	s := append(*h, e)
+	*h = s
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if e.seq >= s[i].seq {
+			break
+		}
+		s[j] = s[i]
+		j = i
+	}
+	s[j] = e
+}
+
+// pop removes and returns the top (least recently used) entry.
+func (h *lruHeap) pop() lruEntry {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	v := s[n]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && s[j2].seq < s[j1].seq {
+			j = j2
+		}
+		if s[j].seq >= v.seq {
+			break
+		}
+		s[i] = s[j]
+		i = j
+	}
+	s[i] = v
+	*h = s[:n]
+	return top
 }
 
 // entry is one (possibly stale) eviction candidate.

@@ -90,7 +90,21 @@ type HintSpec struct {
 	Accuracy float64
 	// Seed drives the disclosure and corruption draws.
 	Seed int64
+	// Window limits lookahead: a positive W lets the policy see disclosed
+	// references only inside [cursor, cursor+W), with eviction falling
+	// back to LRU order for blocks whose next use lies beyond that
+	// horizon. 0 (the zero value) means unlimited lookahead — the paper's
+	// full-knowledge setting — and WindowNone means no future visibility
+	// at all. A window covering the whole trace (W >= len(refs)) is
+	// information-equivalent to unlimited and is treated as such.
+	Window int
 }
+
+// WindowNone is the HintSpec.Window value for zero lookahead: the policy
+// learns each reference only when the process reaches it. (0 could not
+// mean this, because the zero-value HintSpec must equal the fully-hinted
+// default.)
+const WindowNone = -1
 
 // Validate checks the spec's ranges.
 func (h *HintSpec) Validate() error {
@@ -100,7 +114,46 @@ func (h *HintSpec) Validate() error {
 	if h.Accuracy < 0 || h.Accuracy > 1 {
 		return fmt.Errorf("engine: hint accuracy %g out of [0,1]", h.Accuracy)
 	}
+	if h.Window < WindowNone {
+		return fmt.Errorf("engine: hint window %d invalid (0 = unlimited, %d = none, positive = lookahead)", h.Window, WindowNone)
+	}
 	return nil
+}
+
+// applyHintNoise overwrites disclosed with the hint stream the policy
+// sees: undisclosed positions become phantom, inaccurate ones a wrong
+// block. The noise is a pure function of (Seed, Fraction, Accuracy) and
+// the trace position, drawn once for the whole trace before the run —
+// Window deliberately plays no part, so sliding the lookahead horizon
+// changes when a hint becomes visible but never re-rolls whether it is
+// disclosed or corrupted.
+func applyHintNoise(disclosed, refs []layout.BlockID, isWrite []bool, phantom layout.BlockID, nBlocks int, h *HintSpec) {
+	rng := rand.New(rand.NewSource(h.Seed ^ 0x70636873)) // "pchs"
+	for i, b := range refs {
+		if isWrite[i] {
+			continue
+		}
+		switch {
+		case rng.Float64() >= h.Fraction:
+			disclosed[i] = phantom
+		case rng.Float64() >= h.Accuracy:
+			// An inaccurate hint must name a wrong block: draw from the
+			// other nBlocks-1 blocks and shift past the true one (a plain
+			// Intn(nBlocks) would be correct by accident 1/nBlocks of the
+			// time, skewing the realized accuracy).
+			if nBlocks > 1 {
+				w := rng.Intn(nBlocks - 1)
+				if w >= int(b) {
+					w++
+				}
+				disclosed[i] = layout.BlockID(w)
+			} else {
+				disclosed[i] = phantom
+			}
+		default:
+			disclosed[i] = b
+		}
+	}
 }
 
 // Result reports the metrics of one run in the units of the paper's
@@ -240,6 +293,12 @@ type State struct {
 	stallStart  float64
 	breakdowns  map[*disk.Request]disk.Breakdown
 
+	// window is the effective lookahead limit: 0 = unlimited (the paper's
+	// full-knowledge case, including windows clamped for covering the
+	// whole trace), WindowNone = no future visibility, W > 0 = the policy
+	// sees disclosed references in [cursor, cursor+W) only.
+	window int
+
 	// OnComplete, if set by the policy in Attach, is invoked after every
 	// disk completion with the disk index and modeled service time.
 	// Forestall uses it to track recent disk access times.
@@ -342,6 +401,44 @@ func (s *State) recycleRequest(r *disk.Request) {
 
 // ComputeMs returns the inter-reference CPU time that precedes reference i.
 func (s *State) ComputeMs(i int) float64 { return s.compute[i] }
+
+// Windowed reports whether the run limits lookahead (Window != 0).
+func (s *State) Windowed() bool { return s.window != 0 }
+
+// WindowSize returns the effective lookahead window: 0 for unlimited,
+// WindowNone for no future visibility, otherwise the positive W.
+func (s *State) WindowSize() int { return s.window }
+
+// WindowLimit clamps a policy's scan limit (an exclusive upper position
+// bound) to the lookahead horizon cursor+W. With unlimited lookahead it
+// returns limit unchanged; with WindowNone the horizon is the cursor
+// itself, so scanning loops see no future at all.
+func (s *State) WindowLimit(limit int) int {
+	if s.window == 0 {
+		return limit
+	}
+	w := s.window
+	if w < 0 {
+		w = 0
+	}
+	if horizon := s.Oracle.Cursor() + w; horizon < limit {
+		return horizon
+	}
+	return limit
+}
+
+// NoteAssociationHit reports that a block fetched on a mined association
+// (the history policy) was subsequently referenced: trigger is the block
+// whose access caused the prefetch, block the prefetched block, and lag
+// the number of references between prefetch and use. It forwards to the
+// observer and is free when the run is unobserved.
+func (s *State) NoteAssociationHit(trigger, block layout.BlockID, lag int) {
+	if s.obs != nil {
+		s.obs.AssociationHit(obs.AssocEvent{
+			TMs: s.now, Trigger: int64(trigger), Block: int64(block), Lag: lag,
+		})
+	}
+}
 
 // Observed returns the block actually referenced at a past position
 // i < Cursor(). Unlike Refs (the disclosed hints), past accesses are
@@ -512,32 +609,7 @@ func Run(cfg Config) (Result, error) {
 			if err := cfg.Hints.Validate(); err != nil {
 				return Result{}, err
 			}
-			rng := rand.New(rand.NewSource(cfg.Hints.Seed ^ 0x70636873)) // "pchs"
-			for i, b := range refs {
-				if isWrite[i] {
-					continue
-				}
-				switch {
-				case rng.Float64() >= cfg.Hints.Fraction:
-					disclosed[i] = phantom
-				case rng.Float64() >= cfg.Hints.Accuracy:
-					// An inaccurate hint must name a wrong block: draw from
-					// the other nBlocks-1 blocks and shift past the true one
-					// (a plain Intn(nBlocks) would be correct by accident
-					// 1/nBlocks of the time, skewing the realized accuracy).
-					if nBlocks > 1 {
-						w := rng.Intn(nBlocks - 1)
-						if w >= int(b) {
-							w++
-						}
-						disclosed[i] = layout.BlockID(w)
-					} else {
-						disclosed[i] = phantom
-					}
-				default:
-					disclosed[i] = b
-				}
-			}
+			applyHintNoise(disclosed, refs, isWrite, phantom, nBlocks, cfg.Hints)
 		}
 	}
 	oracle := future.New(disclosed, blockSpace)
@@ -547,6 +619,21 @@ func Run(cfg Config) (Result, error) {
 	}
 	if blockSpace > nBlocks {
 		c.MarkAlwaysPresent(layout.BlockID(nBlocks))
+	}
+	// A window covering the whole trace discloses exactly what unlimited
+	// lookahead does (the horizon cursor+W stays past the last reference
+	// for every cursor), so it is normalized to the unlimited fast path:
+	// runs with W >= len(refs) are bit-identical to full-knowledge runs
+	// by construction.
+	window := 0
+	if cfg.Hints != nil {
+		window = cfg.Hints.Window
+		if window >= len(refs) {
+			window = 0
+		}
+	}
+	if window != 0 {
+		c.EnableWindow(window)
 	}
 	drives := make([]*disk.Drive, cfg.Disks)
 	for i := range drives {
@@ -565,6 +652,7 @@ func Run(cfg Config) (Result, error) {
 		overhead:     overhead,
 		inFlightDisk: make([]int32, blockSpace),
 		obs:          cfg.Observer,
+		window:       window,
 	}
 	s.busyEnds = make([]float64, cfg.Disks)
 	for i := range s.busyEnds {
@@ -697,6 +785,16 @@ func Run(cfg Config) (Result, error) {
 				s.obs.StallBegin(obs.StallEvent{
 					TMs: s.now, Pos: cursor, Block: int64(b), Disk: s.DiskOf(b),
 				})
+				if s.window != 0 {
+					// Under limited lookahead every demand miss is a
+					// window miss: the block was either beyond the horizon
+					// or invisible (undisclosed / WindowNone) when the
+					// policy could still have prefetched it.
+					s.obs.WindowMiss(obs.WindowEvent{
+						TMs: s.now, Pos: cursor, Block: int64(b),
+						Disk: s.DiskOf(b), Window: s.window,
+					})
+				}
 			}
 			if err := ensureStallFetch(s, pol, b, cursor); err != nil {
 				return Result{}, err
@@ -783,18 +881,26 @@ func Run(cfg Config) (Result, error) {
 	var served int64
 	perDisk := make([]DiskResult, len(drives))
 	for i, d := range drives {
-		busy += d.BusyTime()
+		// Busy time is credited at service start; a speculative fetch still
+		// in service when the last reference lands (readahead extrapolating
+		// past the end of the trace) would otherwise count service beyond
+		// the run window and push utilization above 1.
+		diskBusy := d.BusyTime()
+		if d.Busy() && d.BusyEnd() > elapsed {
+			diskBusy -= d.BusyEnd() - elapsed
+		}
+		busy += diskBusy
 		svc += d.MeanServiceMs() * float64(d.Completed())
 		resp += d.MeanResponseMs() * float64(d.Completed())
 		served += d.Completed()
 		perDisk[i] = DiskResult{
 			Fetches:    d.Completed(),
-			BusySec:    d.BusyTime() / 1000,
+			BusySec:    diskBusy / 1000,
 			AvgFetchMs: d.MeanServiceMs(),
 			AvgRespMs:  d.MeanResponseMs(),
 		}
 		if elapsed > 0 {
-			perDisk[i].Utilization = d.BusyTime() / elapsed
+			perDisk[i].Utilization = diskBusy / elapsed
 		}
 	}
 	// Stall is the residual idle time, exactly as the paper decomposes

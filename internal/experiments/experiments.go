@@ -106,6 +106,7 @@ func Registry() []Experiment {
 		{"ext-hints", "Extension: sensitivity to incomplete and inaccurate hints", ExtHints},
 		{"ext-writes", "Extension: write-behind traffic interfering with prefetching", ExtWrites},
 		{"ext-multi", "Extension: competing processes sharing the cache and array", ExtMulti},
+		{"lookahead", "Extension: elapsed time vs lookahead window, with hint-less online baselines", Lookahead},
 	}
 }
 

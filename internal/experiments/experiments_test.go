@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "fig2", "fig3", "table4", "fig4", "fig5",
 		"table5", "fig6", "fig7", "table7", "fig8", "fig9", "fig10",
 		"table8", "appA", "appB", "appC", "appD", "appE", "appF", "appG", "appH",
-		"ext-lru", "ext-hints", "ext-writes", "ext-multi",
+		"ext-lru", "ext-hints", "ext-writes", "ext-multi", "lookahead",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {

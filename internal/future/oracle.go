@@ -99,6 +99,19 @@ func (o *Oracle) NextUse(b layout.BlockID) int {
 	return int(o.pos[p])
 }
 
+// NextUseWithin returns b's next reference position when it falls inside
+// the lookahead window [cursor, cursor+window), and Never otherwise. It
+// is NextUse as seen by a partial-knowledge policy: references beyond the
+// window horizon are indistinguishable from references that never happen.
+// A window of 0 means no future visibility at all.
+func (o *Oracle) NextUseWithin(b layout.BlockID, window int) int {
+	u := o.NextUse(b)
+	if u == Never || u >= o.cursor+window {
+		return Never
+	}
+	return u
+}
+
 // NextUseAfter returns the first position >= pos (with pos >= cursor) at
 // which b is referenced, or Never. Reverse aggressive's schedule
 // construction uses this to compute release times.

@@ -141,3 +141,35 @@ func TestOracleAccessors(t *testing.T) {
 		t.Errorf("Cursor = %d after Advance(2)", o.Cursor())
 	}
 }
+
+// TestNextUseWithin: the windowed query reports a next use only when it
+// falls inside [cursor, cursor+window), and Never otherwise — including
+// a zero window, which can see nothing at all.
+func TestNextUseWithin(t *testing.T) {
+	o := New(seq(0, 1, 0, 2, 1, 0), 3)
+	if got := o.NextUseWithin(0, 1); got != 0 {
+		t.Errorf("NextUseWithin(0, 1) = %d, want 0", got)
+	}
+	if got := o.NextUseWithin(2, 3); got != Never {
+		t.Errorf("NextUseWithin(2, 3) = %d, want Never: use at 3 is outside [0,3)", got)
+	}
+	if got := o.NextUseWithin(2, 4); got != 3 {
+		t.Errorf("NextUseWithin(2, 4) = %d, want 3", got)
+	}
+	if got := o.NextUseWithin(1, 0); got != Never {
+		t.Errorf("NextUseWithin(1, 0) = %d, want Never: zero window sees nothing", got)
+	}
+	o.Advance(1)
+	if got := o.NextUseWithin(0, 1); got != Never {
+		t.Errorf("after advance, NextUseWithin(0, 1) = %d, want Never: use at 2 is outside [1,2)", got)
+	}
+	if got := o.NextUseWithin(0, 2); got != 2 {
+		t.Errorf("after advance, NextUseWithin(0, 2) = %d, want 2", got)
+	}
+	o.Advance(6)
+	for b := 0; b < 3; b++ {
+		if got := o.NextUseWithin(seq(b)[0], 1000); got != Never {
+			t.Errorf("at end, NextUseWithin(%d, 1000) = %d, want Never", b, got)
+		}
+	}
+}

@@ -115,6 +115,27 @@ func (c *ChromeTracer) BatchFormed(e BatchEvent) {
 	})
 }
 
+// WindowMiss implements Observer: an instant marker on the process row.
+func (c *ChromeTracer) WindowMiss(e WindowEvent) {
+	c.events = append(c.events, chromeEvent{
+		Name: "window miss", Ph: "i",
+		TS:  e.TMs * 1000,
+		PID: chromePID, TID: processTID, S: "t",
+		Args: map[string]any{"block": e.Block, "pos": e.Pos, "window": e.Window},
+	})
+}
+
+// AssociationHit implements Observer: an instant marker on the process
+// row.
+func (c *ChromeTracer) AssociationHit(e AssocEvent) {
+	c.events = append(c.events, chromeEvent{
+		Name: "assoc hit", Ph: "i",
+		TS:  e.TMs * 1000,
+		PID: chromePID, TID: processTID, S: "t",
+		Args: map[string]any{"trigger": e.Trigger, "block": e.Block, "lag": e.Lag},
+	})
+}
+
 // RunEnd implements Observer.
 func (c *ChromeTracer) RunEnd(float64) {}
 

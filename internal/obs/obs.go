@@ -81,6 +81,28 @@ type BatchEvent struct {
 	OnStall bool // the batch was formed handling a demand miss
 }
 
+// WindowEvent reports a demand miss in a run with limited lookahead
+// (Hints.Window != 0): the missed block was beyond the window horizon —
+// or invisible entirely — at every point the policy could have
+// prefetched it. Window is the run's lookahead limit (-1 = none).
+type WindowEvent struct {
+	TMs    float64
+	Pos    int // position of the missed reference
+	Block  int64
+	Disk   int
+	Window int
+}
+
+// AssocEvent reports a successful history-mined prefetch: Block, fetched
+// because Trigger's access predicted it, was referenced Lag references
+// after the prefetch was issued.
+type AssocEvent struct {
+	TMs     float64
+	Trigger int64
+	Block   int64
+	Lag     int
+}
+
 // Observer receives the event stream of one run. Implementations must
 // not retain the engine's internal state; events are self-contained
 // values. A single run's events arrive in simulation-time order.
@@ -93,6 +115,11 @@ type Observer interface {
 	FetchCompleted(FetchEvent)
 	Eviction(EvictEvent)
 	BatchFormed(BatchEvent)
+	// WindowMiss fires alongside StallBegin in limited-lookahead runs
+	// only; full-knowledge runs never emit it.
+	WindowMiss(WindowEvent)
+	// AssociationHit fires when a history-policy prefetch pays off.
+	AssociationHit(AssocEvent)
 	// RunEnd is called once, after the last reference is served, with the
 	// run's elapsed time.
 	RunEnd(elapsedMs float64)
@@ -110,6 +137,8 @@ func (Base) FetchStarted(FetchEvent)   {}
 func (Base) FetchCompleted(FetchEvent) {}
 func (Base) Eviction(EvictEvent)       {}
 func (Base) BatchFormed(BatchEvent)    {}
+func (Base) WindowMiss(WindowEvent)    {}
+func (Base) AssociationHit(AssocEvent) {}
 func (Base) RunEnd(float64)            {}
 
 // Multi fans every event out to each member in order.
@@ -153,6 +182,16 @@ func (m Multi) Eviction(e EvictEvent) {
 func (m Multi) BatchFormed(e BatchEvent) {
 	for _, o := range m {
 		o.BatchFormed(e)
+	}
+}
+func (m Multi) WindowMiss(e WindowEvent) {
+	for _, o := range m {
+		o.WindowMiss(e)
+	}
+}
+func (m Multi) AssociationHit(e AssocEvent) {
+	for _, o := range m {
+		o.AssociationHit(e)
 	}
 }
 func (m Multi) RunEnd(elapsedMs float64) {

@@ -54,6 +54,11 @@ type Recorder struct {
 	Batches []BatchEvent
 	// Evictions lists every replacement decision.
 	Evictions []EvictEvent
+	// WindowMisses lists every lookahead-window miss (empty for
+	// full-knowledge runs).
+	WindowMisses []WindowEvent
+	// AssocHits lists every history-policy association hit.
+	AssocHits []AssocEvent
 	// ElapsedMs is the run's elapsed time, set by RunEnd.
 	ElapsedMs float64
 
@@ -125,6 +130,12 @@ func (r *Recorder) Eviction(e EvictEvent) { r.Evictions = append(r.Evictions, e)
 // BatchFormed implements Observer.
 func (r *Recorder) BatchFormed(e BatchEvent) { r.Batches = append(r.Batches, e) }
 
+// WindowMiss implements Observer.
+func (r *Recorder) WindowMiss(e WindowEvent) { r.WindowMisses = append(r.WindowMisses, e) }
+
+// AssociationHit implements Observer.
+func (r *Recorder) AssociationHit(e AssocEvent) { r.AssocHits = append(r.AssocHits, e) }
+
 // RunEnd implements Observer.
 func (r *Recorder) RunEnd(elapsedMs float64) { r.ElapsedMs = elapsedMs }
 
@@ -190,6 +201,16 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	}
 	for _, e := range r.Evictions {
 		if err := row("eviction", -1, e.TMs, float64(e.NextUseDistance)); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.WindowMisses {
+		if err := row("window_miss", e.Disk, e.TMs, float64(e.Window)); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.AssocHits {
+		if err := row("assoc_hit", -1, e.TMs, float64(e.Lag)); err != nil {
 			return err
 		}
 	}

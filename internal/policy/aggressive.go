@@ -123,6 +123,7 @@ func (a *Aggressive) Poll() {
 	if n := s.Len(); limit > n {
 		limit = n
 	}
+	limit = s.WindowLimit(limit)
 	if s.Cache.FreeBuffers() == 0 {
 		p := a.globalFirstMissing(limit)
 		if p >= limit {

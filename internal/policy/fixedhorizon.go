@@ -59,6 +59,7 @@ func (f *FixedHorizon) Poll() {
 	if n := s.Len(); limit > n {
 		limit = n
 	}
+	limit = s.WindowLimit(limit)
 	if f.scanned < c {
 		f.scanned = c
 	}

@@ -203,6 +203,7 @@ func (f *Forestall) forecast(d int) {
 	if n := s.Len(); limit > n {
 		limit = n
 	}
+	limit = s.WindowLimit(limit)
 	fp := f.fprime(d)
 	i := 0
 	minSlack := 1 << 30
@@ -249,6 +250,7 @@ func (f *Forestall) issueBatch(d int) {
 	if n := s.Len(); limit > n {
 		limit = n
 	}
+	limit = s.WindowLimit(limit)
 	left := f.batch
 	for _, pp := range f.fromCursor(d, c) {
 		p := int(pp)
@@ -279,6 +281,7 @@ func (f *Forestall) pollHorizonRule() {
 	if n := s.Len(); limit > n {
 		limit = n
 	}
+	limit = s.WindowLimit(limit)
 	if len(f.fhRetry) > 0 {
 		kept := f.fhRetry[:0]
 		for _, p := range f.fhRetry {

@@ -8,6 +8,75 @@ import (
 	"ppcsim/internal/layout"
 )
 
+// recency is the observed-reference recency tracker shared by the
+// hint-less policies (demand-lru, readahead, history). It works from
+// State.Observed — the exact access history any real buffer cache sees —
+// so it is immune to hint quality and never consults the oracle.
+type recency struct {
+	s *engine.State
+
+	lastUse []int // per block: most recent reference position, -1 if never
+	seen    int   // cursor position up to which lastUse is updated
+	h       lruHeap
+}
+
+func (r *recency) attach(s *engine.State) {
+	r.s = s
+	r.lastUse = make([]int, s.Layout.NumBlocks())
+	for i := range r.lastUse {
+		r.lastUse[i] = -1
+	}
+	r.seen = 0
+	r.h = r.h[:0]
+}
+
+// track folds newly consumed references into the recency bookkeeping.
+func (r *recency) track() {
+	c := r.s.Cursor()
+	for ; r.seen < c; r.seen++ {
+		b := r.s.Observed(r.seen)
+		r.lastUse[b] = r.seen
+		if r.s.Cache.Present(b) {
+			heap.Push(&r.h, lruEntry{block: b, used: int32(r.seen)})
+		}
+	}
+}
+
+// noteInserted registers a block the policy prefetched speculatively: it
+// enters the recency order at the current cursor position (without a heap
+// entry — it only becomes an eviction candidate once referenced), so the
+// entry-less fallback scan does not victimize a fetch that has not had a
+// chance to pay off.
+func (r *recency) noteInserted(b layout.BlockID) {
+	if c := r.s.Cursor(); r.lastUse[b] < c {
+		r.lastUse[b] = c
+	}
+}
+
+// leastRecent pops the valid least-recently-used present block.
+func (r *recency) leastRecent() layout.BlockID {
+	for r.h.Len() > 0 {
+		top := r.h[0]
+		if !r.s.Cache.Present(top.block) || int(top.used) != r.lastUse[top.block] {
+			heap.Pop(&r.h)
+			continue
+		}
+		return top.block
+	}
+	// Present blocks that were fetched but never referenced yet have no
+	// heap entry; scan for the least recently inserted one (rare: only
+	// when prefetched blocks have not been consumed, which demand
+	// fetching itself never causes).
+	v, vUse := cache.NoBlock, 1<<62
+	for blk := range r.lastUse {
+		b := layout.BlockID(blk)
+		if r.s.Cache.Present(b) && r.lastUse[blk] < vUse {
+			v, vUse = b, r.lastUse[blk]
+		}
+	}
+	return v
+}
+
 // DemandLRU is demand fetching with least-recently-used replacement — the
 // policy of a conventional hint-less file system buffer cache. The paper
 // motivates hints by the two techniques they enable, "deep prefetching
@@ -15,11 +84,8 @@ import (
 // (demand fetching with offline MIN replacement) isolates the value of
 // the replacement half.
 type DemandLRU struct {
-	s *engine.State
-
-	lastUse []int // per block: most recent reference position, -1 if never
-	seen    int   // cursor position up to which lastUse is updated
-	h       lruHeap
+	s   *engine.State
+	rec recency
 }
 
 // NewDemandLRU returns the demand-LRU baseline.
@@ -31,68 +97,27 @@ func (d *DemandLRU) Name() string { return "demand-lru" }
 // Attach implements engine.Policy.
 func (d *DemandLRU) Attach(s *engine.State) {
 	d.s = s
-	d.lastUse = make([]int, s.Layout.NumBlocks())
-	for i := range d.lastUse {
-		d.lastUse[i] = -1
-	}
-	d.seen = 0
-	d.h = d.h[:0]
-}
-
-// track folds newly consumed references into the recency bookkeeping.
-// LRU is hint-less: it works from the observed access history, which is
-// exact regardless of hint quality.
-func (d *DemandLRU) track() {
-	c := d.s.Cursor()
-	for ; d.seen < c; d.seen++ {
-		b := d.s.Observed(d.seen)
-		d.lastUse[b] = d.seen
-		if d.s.Cache.Present(b) {
-			heap.Push(&d.h, lruEntry{block: b, used: int32(d.seen)})
-		}
-	}
+	d.rec.attach(s)
 }
 
 // Poll implements engine.Policy; demand fetching never prefetches, but the
 // recency list must follow the cursor.
-func (d *DemandLRU) Poll() { d.track() }
+func (d *DemandLRU) Poll() { d.rec.track() }
 
 // OnStall implements engine.Policy: fetch the missed block, evicting the
 // least recently used present block.
 func (d *DemandLRU) OnStall(b layout.BlockID) {
-	d.track()
+	d.rec.track()
 	s := d.s
 	if s.Cache.FreeBuffers() > 0 {
 		s.Issue(b, cache.NoBlock)
 		return
 	}
-	v := d.leastRecent()
+	v := d.rec.leastRecent()
 	if v == cache.NoBlock {
 		return // every buffer in flight; the engine retries
 	}
 	s.Issue(b, v)
-}
-
-// leastRecent pops the valid least-recently-used present block.
-func (d *DemandLRU) leastRecent() layout.BlockID {
-	for d.h.Len() > 0 {
-		top := d.h[0]
-		if !d.s.Cache.Present(top.block) || int(top.used) != d.lastUse[top.block] {
-			heap.Pop(&d.h)
-			continue
-		}
-		return top.block
-	}
-	// Present blocks that were fetched but never referenced yet have no
-	// heap entry; scan for one (rare: only when a prefetched block has
-	// not been consumed, which demand fetching itself never causes).
-	for blk := range d.lastUse {
-		b := layout.BlockID(blk)
-		if d.s.Cache.Present(b) {
-			return b
-		}
-	}
-	return cache.NoBlock
 }
 
 // lruEntry is a (possibly stale) recency record.

@@ -24,6 +24,10 @@ func FuzzParseOptions(f *testing.F) {
 	f.Add(`{"trace_text":"ppctrace t false 4\nfile 2\nr 0 1\nr 1 0.5\n","algorithm":"demand"}`)
 	f.Add(`{"trace":"xds","algorithm":"fixed-horizon","scheduler":"fcfs","hints":{"fraction":0.5,"accuracy":0.9,"seed":7}}`)
 	f.Add(`{"trace":"synth","algorithm":"aggressive","disks":0}`)
+	f.Add(`{"trace":"synth","algorithm":"fixed-horizon","window":64}`)
+	f.Add(`{"trace":"synth","algorithm":"aggressive","window":0}`)
+	f.Add(`{"trace":"synth","algorithm":"forestall","window":-3}`)
+	f.Add(`{"trace":"synth","algorithm":"reverse-aggressive","window":10}`)
 	f.Add(`{"trace":"synth","algorithm":"nope","cache_blocks":-1}`)
 	f.Add(`{"algorithm":"demand","timeout_ms":1e300}`)
 	f.Add(`{`)

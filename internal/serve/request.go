@@ -37,6 +37,12 @@ type Request struct {
 	PlacementSeed    int64   `json:"placement_seed,omitempty"`
 	CPUScale         float64 `json:"cpu_scale,omitempty"`
 	Hints            *Hints  `json:"hints,omitempty"`
+	// Window is the lookahead limit in references: the policy sees hinted
+	// references at most window positions past the current one, with
+	// eviction falling back to LRU beyond that horizon. A pointer so the
+	// boundary can tell an absent field (unlimited lookahead, the paper's
+	// setting) from an explicit non-positive value (an error).
+	Window *int `json:"window,omitempty"`
 	// TimeoutMs caps this request's simulation time (host milliseconds).
 	// It is clamped to the server's MaxTimeout and excluded from the
 	// result-cache key: two requests for the same simulation share one
@@ -98,6 +104,9 @@ func (r *Request) validate() error {
 	if r.CacheBlocks != nil && *r.CacheBlocks <= 0 {
 		return &ppcsim.ConfigError{Field: "CacheBlocks", Reason: fmt.Sprintf("must be positive, got %d", *r.CacheBlocks)}
 	}
+	if r.Window != nil && *r.Window <= 0 {
+		return &ppcsim.ConfigError{Field: "Window", Reason: fmt.Sprintf("must be positive, got %d (omit the field for unlimited lookahead)", *r.Window)}
+	}
 	if r.CPUScale < 0 {
 		return &ppcsim.ConfigError{Field: "CPUScale", Reason: fmt.Sprintf("must be non-negative, got %g", r.CPUScale)}
 	}
@@ -126,6 +135,7 @@ type canonical struct {
 	PlacementSeed    int64   `json:"ps"`
 	CPUScale         float64 `json:"cs"`
 	Hints            *Hints  `json:"hi,omitempty"`
+	Window           int     `json:"w,omitempty"`
 }
 
 // Key returns the canonical result-cache key of a validated request:
@@ -167,6 +177,9 @@ func (r *Request) Key() string {
 	}
 	if r.CPUScale != 0 { //ppcvet:ignore unset-field sentinel, decoded rather than computed
 		c.CPUScale = r.CPUScale
+	}
+	if r.Window != nil {
+		c.Window = *r.Window
 	}
 	key, err := json.Marshal(c)
 	if err != nil {
@@ -230,6 +243,14 @@ func (r *Request) Options(loadTrace func(name string) (*ppcsim.Trace, error)) (p
 			Accuracy: r.Hints.Accuracy,
 			Seed:     r.Hints.Seed,
 		}
+	}
+	if r.Window != nil {
+		if opts.Hints == nil {
+			// A bare window means fully-disclosed, accurate hints limited
+			// in reach — the TIP2-style partial-knowledge setting.
+			opts.Hints = &ppcsim.HintSpec{Fraction: 1, Accuracy: 1}
+		}
+		opts.Hints.Window = *r.Window
 	}
 	if err := opts.Validate(); err != nil {
 		return ppcsim.Options{}, err

@@ -88,6 +88,29 @@ func TestSimulateEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSimulateWindowedEndToEnd: a bare window field implies accurate
+// full hints limited in reach, and the windowed run completes.
+func TestSimulateWindowedEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"trace_text":%q,"algorithm":"fixed-horizon","disks":2,"window":32}`,
+		inlineTrace("win", 64, 400))
+	resp, got := post(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	var res ppcsim.Result
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatalf("bad result JSON: %v\n%s", err, got)
+	}
+	if res.CacheHits+res.CacheMisses != 400 {
+		t.Errorf("served %d of 400 refs", res.CacheHits+res.CacheMisses)
+	}
+}
+
 // TestDecoderBoundaries is the HTTP half of the boundary-validation
 // table: every malformed or out-of-range request must draw a 400 with a
 // ConfigError-derived JSON body naming the field — never a panic, never
@@ -125,6 +148,9 @@ func TestDecoderBoundaries(t *testing.T) {
 		{"negative timeout", `{"trace":"synth","algorithm":"demand","timeout_ms":-1}`, "TimeoutMs"},
 		{"bad hint fraction", `{"trace":"synth","algorithm":"demand","hints":{"fraction":1.5,"accuracy":1}}`, "Hints"},
 		{"hints with reverse-aggressive", `{"trace":"synth","algorithm":"reverse-aggressive","hints":{"fraction":0.5,"accuracy":1}}`, "Hints"},
+		{"zero window", `{"trace":"synth","algorithm":"fixed-horizon","window":0}`, "Window"},
+		{"negative window", `{"trace":"synth","algorithm":"fixed-horizon","window":-8}`, "Window"},
+		{"window with reverse-aggressive", `{"trace":"synth","algorithm":"reverse-aggressive","window":10}`, "Hints"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -525,6 +551,7 @@ func TestKeyCanonicalization(t *testing.T) {
 		{Trace: "synth", Algorithm: "demand", PlacementSeed: 9},
 		{Trace: "synth", Algorithm: "demand", CPUScale: 0.5},
 		{Trace: "synth", Algorithm: "demand", Hints: &Hints{Fraction: 0.5, Accuracy: 1}},
+		{Trace: "synth", Algorithm: "demand", Window: &two},
 		{TraceText: inlineTrace("synth", 8, 8), Algorithm: "demand"},
 	}
 	for i, r := range diff {

@@ -165,6 +165,58 @@ func TestMetamorphicDuplicateSubadditive(t *testing.T) {
 	}
 }
 
+// TestMetamorphicWindowMonotone: on reuse workloads a larger lookahead
+// window never slows a run — more future knowledge can only start
+// fetches earlier and evict smarter. Window 0 (unlimited) closes the
+// sequence as the largest window.
+func TestMetamorphicWindowMonotone(t *testing.T) {
+	base := tracetest.Loop("loop", 32, 400, 2)
+	reuse := []*ppcsim.Trace{base, tracetest.Repeat(base, 2)}
+	windows := []int{1, 4, 16, 64, 0}
+	for _, tr := range reuse {
+		for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall} {
+			for _, d := range metaDisks {
+				prev, prevW := -1.0, 0
+				for _, w := range windows {
+					var h *ppcsim.HintSpec
+					if w != 0 {
+						h = &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: w}
+					}
+					r, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: d, Hints: h})
+					if err != nil {
+						t.Fatalf("%s/%s/d=%d/W=%d: %v", tr.Name, alg, d, w, err)
+					}
+					if prev >= 0 && r.ElapsedSec > prev*metaTolerance {
+						t.Errorf("%s/%s/d=%d: window %d→%d raised elapsed %.4fs→%.4fs",
+							tr.Name, alg, d, prevW, w, prev, r.ElapsedSec)
+					}
+					prev, prevW = r.ElapsedSec, w
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicReadaheadBeatsDemandSequential: on constant-stride
+// workloads the hint-less readahead detector must beat demand fetching
+// outright — run detection buys fetch overlap that demand cannot have.
+func TestMetamorphicReadaheadBeatsDemandSequential(t *testing.T) {
+	seq := []*ppcsim.Trace{
+		tracetest.Strided("seq", 64, 400, 1, 1),
+		tracetest.Strided("stride", 48, 400, 7, 1),
+	}
+	for _, tr := range seq {
+		for _, d := range metaDisks {
+			demand := metaRun(t, tr, ppcsim.Demand, d, 0)
+			ra := metaRun(t, tr, ppcsim.Readahead, d, 0)
+			if ra.ElapsedSec >= demand.ElapsedSec {
+				t.Errorf("%s/d=%d: readahead %.4fs does not beat demand %.4fs",
+					tr.Name, d, ra.ElapsedSec, demand.ElapsedSec)
+			}
+		}
+	}
+}
+
 // TestMetamorphicMoreDisksNoSlower: adding drives to the array never
 // lengthens a run (striping only adds parallel fetch capacity).
 func TestMetamorphicMoreDisksNoSlower(t *testing.T) {

@@ -17,11 +17,13 @@ type ObserverBase = obs.Base
 // Event payloads; see package internal/obs for field documentation. All
 // times are milliseconds of simulated time since the start of the run.
 type (
-	RefEvent   = obs.RefEvent
-	StallEvent = obs.StallEvent
-	FetchEvent = obs.FetchEvent
-	EvictEvent = obs.EvictEvent
-	BatchEvent = obs.BatchEvent
+	RefEvent    = obs.RefEvent
+	StallEvent  = obs.StallEvent
+	FetchEvent  = obs.FetchEvent
+	EvictEvent  = obs.EvictEvent
+	BatchEvent  = obs.BatchEvent
+	WindowEvent = obs.WindowEvent
+	AssocEvent  = obs.AssocEvent
 )
 
 // Recorder is the built-in time-series observer: per-disk utilization

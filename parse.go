@@ -99,11 +99,19 @@ func (o Options) Validate() error {
 		return &ConfigError{Field: "ForestallFixedF", Reason: fmt.Sprintf("must be non-negative, got %g", o.ForestallFixedF)}
 	}
 	if o.Hints != nil {
-		if o.Algorithm == ReverseAggressive {
-			return &ConfigError{Field: "Hints", Reason: "reverse aggressive is offline and requires full hints"}
-		}
 		if err := o.Hints.Validate(); err != nil {
 			return &ConfigError{Field: "Hints", Reason: err.Error()}
+		}
+		if o.Algorithm == ReverseAggressive {
+			// Reverse aggressive is offline: it builds its schedule from
+			// the whole disclosed sequence up front. A spec is acceptable
+			// only when it is information-equivalent to full hints —
+			// everything disclosed, everything accurate, and a window that
+			// is unlimited or covers the whole trace.
+			full := o.Hints.Fraction == 1 && o.Hints.Accuracy == 1 //ppcvet:ignore exact fully-hinted sentinel values, assigned not computed
+			if !full || (o.Hints.Window != 0 && o.Hints.Window < len(o.Trace.Refs)) {
+				return &ConfigError{Field: "Hints", Reason: "reverse aggressive is offline and requires full hints"}
+			}
 		}
 	}
 	if o.DiskGeometry != nil {

@@ -51,9 +51,16 @@ func HP97560Geometry() DiskGeometry { return disk.HP97560Geometry() }
 
 // HintSpec models incomplete or inaccurate application hints: each
 // reference is disclosed with probability Fraction and, if disclosed,
-// names the correct block with probability Accuracy. The paper's
-// fully-hinted case is the nil spec. See engine.HintSpec.
+// names the correct block with probability Accuracy; Window limits how
+// far past the cursor disclosed references are visible (0 = unlimited,
+// WindowNone = no future visibility), with eviction falling back to LRU
+// beyond the horizon. The paper's fully-hinted case is the nil spec. See
+// engine.HintSpec.
 type HintSpec = engine.HintSpec
+
+// WindowNone is the HintSpec.Window value for zero lookahead: the policy
+// learns each reference only as the process reaches it.
+const WindowNone = engine.WindowNone
 
 // Disk-head scheduling disciplines.
 const (
@@ -90,11 +97,22 @@ const (
 	// a conventional hint-less buffer cache. Not part of the paper's
 	// comparison; it isolates the value of better-than-LRU replacement.
 	DemandLRU Algorithm = "demand-lru"
+	// Readahead is sequential readahead with adaptive depth: it detects
+	// constant-stride runs in the observed reference stream and prefetches
+	// their extrapolation, with LRU replacement. Hint-less; not part of
+	// the paper's comparison.
+	Readahead Algorithm = "readahead"
+	// History is MITHRIL-style history-based prefetching: it mines
+	// repeated block associations from the observed reference stream into
+	// a bounded table and prefetches a block's supported successors on
+	// access, with LRU replacement. Hint-less; not part of the paper's
+	// comparison.
+	History Algorithm = "history"
 )
 
 // Algorithms lists the paper's five algorithms in its order, plus the
-// demand-LRU extension baseline.
-var Algorithms = []Algorithm{Demand, FixedHorizon, Aggressive, ReverseAggressive, Forestall, DemandLRU}
+// hint-less extension baselines (demand-LRU, readahead, history).
+var Algorithms = []Algorithm{Demand, FixedHorizon, Aggressive, ReverseAggressive, Forestall, DemandLRU, Readahead, History}
 
 // TraceNames lists the bundled traces in Table 3 order.
 var TraceNames = trace.Names
@@ -159,6 +177,10 @@ func NewPolicy(opts Options) (engine.Policy, error) {
 		return policy.NewDemand(), nil
 	case DemandLRU:
 		return policy.NewDemandLRU(), nil
+	case Readahead:
+		return policy.NewReadahead(), nil
+	case History:
+		return policy.NewHistory(), nil
 	case FixedHorizon:
 		return policy.NewFixedHorizon(opts.Horizon), nil
 	case Aggressive:

@@ -1,0 +1,196 @@
+package ppcsim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ppcsim"
+	"ppcsim/internal/trace/tracetest"
+)
+
+// The lookahead-window extension: Hints.Window limits how far past the
+// cursor the policy can see. These tests pin the two ends of the knob —
+// a window covering the whole trace is indistinguishable from unlimited
+// knowledge, and WindowNone strips all future knowledge — plus the event
+// stream and validation semantics in between.
+
+// windowAlgs are the algorithms the equivalence acceptance criterion
+// names: all four paper prefetchers, including the offline one.
+var windowAlgs = []ppcsim.Algorithm{
+	ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall, ppcsim.ReverseAggressive,
+}
+
+// recordedRun runs one configuration with a Recorder attached and
+// returns both the metrics and the full event stream.
+func recordedRun(t *testing.T, tr *ppcsim.Trace, alg ppcsim.Algorithm, d int, h *ppcsim.HintSpec) (ppcsim.Result, *ppcsim.Recorder) {
+	t.Helper()
+	rec := ppcsim.NewRecorder()
+	r, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: d, Hints: h, Observer: rec})
+	if err != nil {
+		t.Fatalf("%s/%s/d=%d/%+v: %v", tr.Name, alg, d, h, err)
+	}
+	return r, rec
+}
+
+// TestWindowFullTraceEquivalence: a window that covers the whole trace
+// discloses exactly what unlimited lookahead does, so runs with
+// W >= len(trace) must be byte-identical to the unlimited-hints run —
+// not merely close: identical metrics and identical observer event
+// streams — for every paper algorithm and array size.
+func TestWindowFullTraceEquivalence(t *testing.T) {
+	tr := truncated(t, "synth", 4000)
+	n := len(tr.Refs)
+	for _, alg := range windowAlgs {
+		for _, d := range []int{1, 2, 4} {
+			baseR, baseRec := recordedRun(t, tr, alg, d, &ppcsim.HintSpec{Fraction: 1, Accuracy: 1})
+			for _, w := range []int{n, n + 1, 10 * n} {
+				winR, winRec := recordedRun(t, tr, alg, d, &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: w})
+				if !reflect.DeepEqual(baseR, winR) {
+					t.Errorf("%s/d=%d: W=%d metrics differ from unlimited:\n%+v\nvs\n%+v", alg, d, w, winR, baseR)
+				}
+				if !reflect.DeepEqual(baseRec, winRec) {
+					t.Errorf("%s/d=%d: W=%d observer event stream differs from unlimited", alg, d, w)
+				}
+				if len(winRec.WindowMisses) != 0 {
+					t.Errorf("%s/d=%d: W=%d covering the trace emitted %d window-miss events",
+						alg, d, w, len(winRec.WindowMisses))
+				}
+			}
+		}
+	}
+}
+
+// TestWindowEquivalenceUnderNoise: the full-trace equivalence must also
+// hold with partial, inaccurate hints — which additionally pins that the
+// hint corruption is drawn per trace position from the seed alone, never
+// re-rolled when the window changes.
+func TestWindowEquivalenceUnderNoise(t *testing.T) {
+	tr := truncated(t, "cscope2", 3000)
+	h := ppcsim.HintSpec{Fraction: 0.8, Accuracy: 0.7, Seed: 21}
+	for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall} {
+		noisy := h
+		baseR, baseRec := recordedRun(t, tr, alg, 2, &noisy)
+		windowed := h
+		windowed.Window = len(tr.Refs)
+		winR, winRec := recordedRun(t, tr, alg, 2, &windowed)
+		if !reflect.DeepEqual(baseR, winR) || !reflect.DeepEqual(baseRec, winRec) {
+			t.Errorf("%s: noisy full-trace window differs from unlimited run", alg)
+		}
+	}
+}
+
+// TestWindowNoneStripsPrefetching: WindowNone removes all future
+// visibility, so a prefetcher degrades to demand fetching — same
+// reference counts, elapsed within the queueing tolerance of the demand
+// policy (replacement differs: LRU fallback vs optimal, which only
+// matters under eviction pressure, so the full-residency default cache
+// keeps the comparison tight).
+func TestWindowNoneStripsPrefetching(t *testing.T) {
+	const tol = 1.05
+	for _, tr := range metaTraces() {
+		for _, d := range metaDisks {
+			demand := metaRun(t, tr, ppcsim.Demand, d, 0)
+			for _, alg := range []ppcsim.Algorithm{ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall} {
+				r, err := ppcsim.Run(ppcsim.Options{
+					Trace: tr, Algorithm: alg, Disks: d,
+					Hints: &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: ppcsim.WindowNone},
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/d=%d: %v", tr.Name, alg, d, err)
+				}
+				if r.CacheHits+r.CacheMisses != int64(len(tr.Refs)) {
+					t.Errorf("%s/%s/d=%d: served %d of %d refs", tr.Name, alg, d, r.CacheHits+r.CacheMisses, len(tr.Refs))
+				}
+				if r.ElapsedSec > demand.ElapsedSec*tol || r.ElapsedSec < demand.ElapsedSec/tol {
+					t.Errorf("%s/%s/d=%d: WindowNone elapsed %.4fs not within %g of demand %.4fs",
+						tr.Name, alg, d, r.ElapsedSec, tol, demand.ElapsedSec)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowMissEvents: a windowed run that stalls reports each stall
+// with a WindowMiss event carrying the window in force, and an unlimited
+// run reports none.
+func TestWindowMissEvents(t *testing.T) {
+	tr := tracetest.Loop("loop", 32, 400, 2)
+	tr.CacheBlocks = 16
+	const w = 4
+	r, rec := recordedRun(t, tr, ppcsim.Demand, 2, &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: w})
+	if len(rec.Stalls) == 0 {
+		t.Fatal("loop over a half-size cache should stall")
+	}
+	if len(rec.WindowMisses) != len(rec.Stalls) {
+		t.Errorf("%d window-miss events for %d stalls", len(rec.WindowMisses), len(rec.Stalls))
+	}
+	for i, e := range rec.WindowMisses {
+		if e.Window != w {
+			t.Fatalf("event %d reports window %d, want %d", i, e.Window, w)
+		}
+		if e.Pos < 0 || e.Pos >= len(tr.Refs) {
+			t.Fatalf("event %d at out-of-range position %d", i, e.Pos)
+		}
+	}
+	if r.CacheHits+r.CacheMisses != int64(len(tr.Refs)) {
+		t.Error("not every reference served")
+	}
+	_, unlimited := recordedRun(t, tr, ppcsim.Demand, 2, nil)
+	if len(unlimited.WindowMisses) != 0 {
+		t.Errorf("unlimited run emitted %d window-miss events", len(unlimited.WindowMisses))
+	}
+}
+
+// TestHistoryAssociationEvents: the history policy reports its useful
+// prefetches as association-hit events with non-negative lag.
+func TestHistoryAssociationEvents(t *testing.T) {
+	tr := tracetest.Loop("loop", 32, 400, 2)
+	tr.CacheBlocks = 16
+	_, rec := recordedRun(t, tr, ppcsim.History, 2, nil)
+	if len(rec.AssocHits) == 0 {
+		t.Fatal("history on a cycling loop should land association prefetches")
+	}
+	for i, e := range rec.AssocHits {
+		if e.Lag < 0 {
+			t.Fatalf("event %d has negative lag %d", i, e.Lag)
+		}
+		if e.Trigger == e.Block {
+			t.Fatalf("event %d is a self-association of block %d", i, e.Block)
+		}
+	}
+}
+
+// TestWindowValidation pins the library-level window semantics: anything
+// below WindowNone is rejected, WindowNone and positive windows run for
+// the online algorithms, and the offline reverse-aggressive accepts only
+// windows that keep it fully informed.
+func TestWindowValidation(t *testing.T) {
+	tr := truncated(t, "ld", 500)
+	run := func(alg ppcsim.Algorithm, w int) error {
+		_, err := ppcsim.Run(ppcsim.Options{
+			Trace: tr, Algorithm: alg, Disks: 1,
+			Hints: &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: w},
+		})
+		return err
+	}
+	if err := run(ppcsim.FixedHorizon, ppcsim.WindowNone-1); err == nil {
+		t.Error("window below WindowNone should be rejected")
+	}
+	for _, w := range []int{ppcsim.WindowNone, 1, 100, len(tr.Refs)} {
+		if err := run(ppcsim.FixedHorizon, w); err != nil {
+			t.Errorf("fixed-horizon window %d: %v", w, err)
+		}
+	}
+	// The offline algorithm needs the whole future: partial windows are
+	// partial knowledge, full-trace windows change nothing.
+	for _, w := range []int{ppcsim.WindowNone, 1, len(tr.Refs) - 1} {
+		if err := run(ppcsim.ReverseAggressive, w); err == nil {
+			t.Errorf("reverse-aggressive window %d should be rejected", w)
+		}
+	}
+	for _, w := range []int{0, len(tr.Refs), len(tr.Refs) + 50} {
+		if err := run(ppcsim.ReverseAggressive, w); err != nil {
+			t.Errorf("reverse-aggressive window %d: %v", w, err)
+		}
+	}
+}
