@@ -1,13 +1,18 @@
-// Command ppc-serve exposes the simulator as an HTTP service: POST
-// /simulate runs (or serves from cache) one simulation, /healthz reports
-// liveness, /statsz reports queue depth, cache hit rate, and latency
-// percentiles. See the README's "Serving" section for the request
-// schema.
+// Command ppc-serve exposes the simulator as an HTTP service speaking
+// the v1 API (see docs/api-v1.md): POST /v1/run runs (or serves from
+// cache) one simulation, /v1/healthz reports liveness, /v1/statsz
+// reports queue depth, cache hit rate, and hit/miss latency
+// percentiles. The pre-v1 paths remain as deprecated shims (/simulate
+// 308-redirects to /v1/run).
+//
+// A ppc-serve process is also the worker role of a sweep cluster:
+// point ppc-coord's -backends flag at a fleet of these and the
+// coordinator shards grid cells across their result caches.
 //
 // Usage:
 //
 //	ppc-serve -addr :8080
-//	curl -s localhost:8080/simulate -d '{"trace":"synth","algorithm":"forestall","disks":4}'
+//	curl -s localhost:8080/v1/run -d '{"trace":"synth","algorithm":"forestall","disks":4}'
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: intake stops, in-flight
 // and queued simulations finish, then the process exits.

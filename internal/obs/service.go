@@ -21,6 +21,25 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current count.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is a concurrency-safe instantaneous value for service-level
+// metrics that go up and down (jobs in flight, live backends). The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // SyncHistogram is a Histogram safe for concurrent observers — the
 // service-side counterpart of the single-threaded simulation histogram,
 // sharing its log-bucketed layout and ~5% quantile resolution. The zero

@@ -24,6 +24,30 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Inc()
+				g.Dec()
+			}
+			g.Inc()
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 8 {
+		t.Errorf("gauge = %d, want 8 (paired inc/dec cancel)", got)
+	}
+	g.Set(-3)
+	if got := g.Load(); got != -3 {
+		t.Errorf("gauge after Set(-3) = %d", got)
+	}
+}
+
 func TestSyncHistogramConcurrent(t *testing.T) {
 	var h SyncHistogram
 	var wg sync.WaitGroup

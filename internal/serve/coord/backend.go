@@ -1,0 +1,160 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ppcsim"
+	"ppcsim/internal/serve"
+)
+
+// Backend is one worker in the fleet: it runs a single /v1/run body and
+// returns the worker's exact response bytes (which are byte-identical
+// across the fleet for a given key, because the simulator is
+// deterministic and the canonical key pins every outcome-changing
+// option). cacheHit reports whether the worker's result cache answered.
+type Backend interface {
+	// Name identifies the backend on the hash ring and in stats. Names
+	// must be unique within a coordinator.
+	Name() string
+	Run(ctx context.Context, body []byte) (result []byte, cacheHit bool, err error)
+}
+
+// errKind classifies a cell failure for the scheduler's retry logic.
+type errKind int
+
+const (
+	// errTransient: the backend is unreachable or failed internally; mark
+	// it dead for this job and reroute its cells.
+	errTransient errKind = iota
+	// errBusy: the backend applied backpressure (429); retry the cell on
+	// the same backend after a pause.
+	errBusy
+	// errPermanent: the cell itself is invalid (400); retrying anywhere
+	// is pointless.
+	errPermanent
+)
+
+// cellError is a classified failure from a Backend.Run call.
+type cellError struct {
+	kind errKind
+	err  error
+}
+
+func (e *cellError) Error() string { return e.err.Error() }
+func (e *cellError) Unwrap() error { return e.err }
+
+func classify(err error) *cellError {
+	var ce *cellError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return &cellError{kind: errTransient, err: err}
+}
+
+// HTTPBackend drives a remote ppc-serve worker over its v1 API.
+type HTTPBackend struct {
+	name    string
+	baseURL string
+	client  *http.Client
+}
+
+// NewHTTPBackend wraps the worker at baseURL (scheme://host:port). A
+// nil client uses http.DefaultClient. The name defaults to the URL.
+func NewHTTPBackend(name, baseURL string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if name == "" {
+		name = baseURL
+	}
+	return &HTTPBackend{name: name, baseURL: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.name }
+
+// Run implements Backend: POST {base}/v1/run, classifying the response
+// for the retry scheduler.
+func (b *HTTPBackend) Run(ctx context.Context, body []byte) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.baseURL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, &cellError{kind: errPermanent, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		// Connection refused, reset, or timeout: the worker is gone.
+		return nil, false, &cellError{kind: errTransient, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, &cellError{kind: errTransient, err: err}
+	}
+	if resp.StatusCode == http.StatusOK {
+		return data, resp.Header.Get("X-Cache") == "hit", nil
+	}
+	// Prefer the worker's envelope message so the diagnostic a client
+	// sees matches what the worker reported.
+	errMsg := fmt.Sprintf("worker %s: status %d", b.name, resp.StatusCode)
+	var env serve.ErrorEnvelope
+	if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Message != "" {
+		if env.Error.Field != "" {
+			return nil, false, &cellError{kind: kindForStatus(resp.StatusCode),
+				err: &ppcsim.ConfigError{Field: env.Error.Field, Reason: env.Error.Message}}
+		}
+		errMsg = fmt.Sprintf("worker %s: %s", b.name, env.Error.Message)
+	}
+	return nil, false, &cellError{kind: kindForStatus(resp.StatusCode), err: errors.New(errMsg)}
+}
+
+func kindForStatus(status int) errKind {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return errBusy
+	case status == http.StatusGatewayTimeout:
+		// A deterministic simulation that exceeded its deadline here will
+		// exceed it on every other worker too; don't punish the fleet.
+		return errPermanent
+	case status >= 400 && status < 500:
+		return errPermanent
+	default:
+		return errTransient
+	}
+}
+
+// LocalBackend runs cells on an in-process serve.Server — the embedded
+// single-process mode, where one binary hosts the coordinator and its
+// whole worker fleet with no sockets in between.
+type LocalBackend struct {
+	name string
+	srv  *serve.Server
+}
+
+// NewLocalBackend wraps an in-process worker server.
+func NewLocalBackend(name string, srv *serve.Server) *LocalBackend {
+	return &LocalBackend{name: name, srv: srv}
+}
+
+// Name implements Backend.
+func (b *LocalBackend) Name() string { return b.name }
+
+// Server returns the wrapped worker, e.g. for stats or shutdown.
+func (b *LocalBackend) Server() *serve.Server { return b.srv }
+
+// Run implements Backend via serve.Server.RunJSON, classifying errors
+// exactly as the HTTP status mapping would.
+func (b *LocalBackend) Run(ctx context.Context, body []byte) ([]byte, bool, error) {
+	val, hit, err := b.srv.RunJSON(body)
+	if err != nil {
+		return nil, false, &cellError{kind: kindForStatus(serve.StatusForError(err)), err: err}
+	}
+	return val, hit, nil
+}

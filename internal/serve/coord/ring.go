@@ -1,0 +1,96 @@
+package coord
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// ring is a consistent-hash ring mapping canonical cell keys to backend
+// names. Each backend contributes `replicas` virtual points (hashes of
+// "name#i"); a key is owned by the first point clockwise from the key's
+// own hash. Two properties matter here:
+//
+//   - Partitioning: for a fixed fleet, each worker owns a stable,
+//     roughly even slice of key space, so the per-worker LRU result
+//     caches shard the cluster-wide working set instead of each holding
+//     a duplicate of the hot keys.
+//   - Minimal disruption: excluding a dead backend reroutes only the
+//     keys that backend owned; every other key keeps its owner, so a
+//     single worker failure does not cold-start the whole fleet's
+//     caches.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hash64 maps a string onto the ring's key space. SHA-256 (truncated)
+// rather than a fast non-cryptographic hash: routing must be stable
+// across processes, architectures, and releases, because the smoke
+// tests and the result stores bake keys into saved state.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring for a fixed set of backend names.
+func newRing(nodes []string, replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	r := &ring{points: make([]ringPoint, 0, len(nodes)*replicas)}
+	for _, n := range nodes {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(n + "#" + itoa(i)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties broken by name so the ring is deterministic regardless of
+		// the order backends were configured in.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// itoa is strconv.Itoa for the small non-negative ints used in virtual
+// point labels, kept local to avoid importing strconv for one call.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// owner returns the backend owning key, walking clockwise past points
+// whose node is in dead. It returns "" when every backend is dead.
+func (r *ring) owner(key string, dead map[string]bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !dead[p.node] {
+			return p.node
+		}
+	}
+	return ""
+}

@@ -1,0 +1,95 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf(`{"a":"demand","c":%d}`, i)
+	}
+	return keys
+}
+
+// TestRingDeterministic: ownership is a pure function of the node set —
+// independent of configuration order — because routing must agree
+// between a coordinator and any future process reading its store.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing([]string{"w0", "w1", "w2"}, 64)
+	b := newRing([]string{"w2", "w0", "w1"}, 64)
+	for _, k := range ringKeys(200) {
+		if ao, bo := a.owner(k, nil), b.owner(k, nil); ao != bo {
+			t.Fatalf("owner(%q) differs by construction order: %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+// TestRingBalance: with 64 virtual points per node, no node owns a
+// wildly disproportionate share of a large key population.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"w0", "w1", "w2", "w3"}
+	r := newRing(nodes, 64)
+	counts := make(map[string]int)
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.owner(k, nil)]++
+	}
+	mean := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if counts[n] < mean/3 || counts[n] > mean*3 {
+			t.Errorf("node %s owns %d of %d keys (mean %d) — badly unbalanced",
+				n, counts[n], len(keys), mean)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: excluding one node must reroute only the
+// keys that node owned; every other key keeps its owner, so a worker
+// failure does not cold-start the survivors' caches.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := newRing([]string{"w0", "w1", "w2"}, 64)
+	dead := map[string]bool{"w1": true}
+	moved := 0
+	for _, k := range ringKeys(1000) {
+		before := r.owner(k, nil)
+		after := r.owner(k, dead)
+		if before != "w1" {
+			if after != before {
+				t.Fatalf("key %q moved %q -> %q though its owner survived", k, before, after)
+			}
+			continue
+		}
+		moved++
+		if after == "w1" || after == "" {
+			t.Fatalf("key %q still routed to dead node (got %q)", k, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("w1 owned no keys out of 1000 — balance test should have caught this")
+	}
+}
+
+// TestRingAllDead: a fully dead fleet yields no owner rather than a
+// spin or a panic.
+func TestRingAllDead(t *testing.T) {
+	r := newRing([]string{"w0", "w1"}, 8)
+	dead := map[string]bool{"w0": true, "w1": true}
+	if got := r.owner("any-key", dead); got != "" {
+		t.Fatalf("owner over all-dead fleet = %q, want empty", got)
+	}
+	empty := newRing(nil, 8)
+	if got := empty.owner("any-key", nil); got != "" {
+		t.Fatalf("owner on empty ring = %q, want empty", got)
+	}
+}
+
+// TestItoa pins the local itoa helper against the obvious cases.
+func TestItoa(t *testing.T) {
+	for _, n := range []int{0, 1, 9, 10, 63, 100, 12345} {
+		if got, want := itoa(n), fmt.Sprintf("%d", n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

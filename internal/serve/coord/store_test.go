@@ -1,0 +1,101 @@
+package coord
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleJob(key string) *StoredJob {
+	return &StoredJob{
+		JobKey: key,
+		Cells: []StoredCell{
+			{Index: 0, Key: "k0", Result: json.RawMessage(`{"x":1}`)},
+			{Index: 1, Key: "k1", Result: json.RawMessage(`{"x":2}`)},
+		},
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	if _, ok, err := s.Load("absent"); ok || err != nil {
+		t.Fatalf("Load(absent) = ok=%v err=%v", ok, err)
+	}
+	want := sampleJob("j1")
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load("j1")
+	if !ok || err != nil {
+		t.Fatalf("Load = ok=%v err=%v", ok, err)
+	}
+	if len(got.Cells) != 2 || string(got.Cells[1].Result) != `{"x":2}` {
+		t.Errorf("loaded job mismatch: %+v", got)
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("absent"); ok || err != nil {
+		t.Fatalf("Load(absent) = ok=%v err=%v", ok, err)
+	}
+	if err := s.Save(sampleJob("j1")); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same directory sees the entry: persistence,
+	// not process state.
+	s2, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Load("j1")
+	if !ok || err != nil {
+		t.Fatalf("Load after reopen = ok=%v err=%v", ok, err)
+	}
+	if len(got.Cells) != 2 {
+		t.Errorf("loaded job mismatch: %+v", got)
+	}
+	// No temp droppings left behind by the atomic write path.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// TestDirStoreCorruption: a truncated or mislabeled entry surfaces as an
+// error (which the coordinator degrades to recomputation), never as a
+// trusted half-grid.
+func TestDirStoreCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{"job_key":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("bad"); ok || err == nil {
+		t.Errorf("corrupt entry: ok=%v err=%v, want load failure", ok, err)
+	}
+	// An entry whose content claims a different key is rejected too.
+	if err := s.Save(sampleJob("honest")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, "honest.json"), filepath.Join(dir, "liar.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Load("liar"); ok || err == nil {
+		t.Errorf("mislabeled entry: ok=%v err=%v, want load failure", ok, err)
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"ppcsim"
+)
+
+// ErrorCode is the machine-readable classification carried by every
+// non-200 v1 response. Codes are stable API: clients branch on them,
+// humans read Message.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest: the body failed JSON decoding or boundary
+	// validation; Field names the offending request field.
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeBodyTooLarge: the request body exceeded the server's limit.
+	CodeBodyTooLarge ErrorCode = "body_too_large"
+	// CodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeNotFound: no such endpoint.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeQueueFull: backpressure — retry after the Retry-After delay.
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeDraining: the server is shutting down and refuses new work.
+	CodeDraining ErrorCode = "draining"
+	// CodeTimeout: the simulation deadline expired.
+	CodeTimeout ErrorCode = "timeout"
+	// CodeUpstream: a coordinator could not complete the work on any
+	// worker backend.
+	CodeUpstream ErrorCode = "upstream_failed"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorEnvelope is the one JSON error form of the v1 API:
+//
+//	{"error":{"code":"invalid_request","field":"Disks","message":"..."}}
+//
+// Field is present exactly when the error is a *ppcsim.ConfigError, and
+// Message is that error's Error() string, so HTTP clients see the same
+// diagnostic text the CLIs print.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the payload inside ErrorEnvelope.
+type ErrorDetail struct {
+	Code    ErrorCode `json:"code"`
+	Field   string    `json:"field,omitempty"`
+	Message string    `json:"message"`
+}
+
+// StatusForError maps a run error to its v1 HTTP status code. The
+// mapping is shared by the worker handler and the coordinator's proxy
+// path so both report a failure identically.
+func StatusForError(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ppcsim.ErrCanceled):
+		return http.StatusGatewayTimeout
+	}
+	var cfgErr *ppcsim.ConfigError
+	if errors.As(err, &cfgErr) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeForStatus returns the envelope code conventionally paired with an
+// HTTP status.
+func CodeForStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodeBodyTooLarge
+	case http.StatusTooManyRequests:
+		return CodeQueueFull
+	case http.StatusServiceUnavailable:
+		return CodeDraining
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	case http.StatusBadGateway:
+		return CodeUpstream
+	}
+	return CodeInternal
+}
+
+// Envelope builds the ErrorEnvelope for an error at a given status,
+// deriving Field from *ppcsim.ConfigError when present.
+func Envelope(status int, err error) ErrorEnvelope {
+	d := ErrorDetail{Code: CodeForStatus(status), Message: err.Error()}
+	var cfgErr *ppcsim.ConfigError
+	if errors.As(err, &cfgErr) {
+		d.Field = cfgErr.Field
+	}
+	return ErrorEnvelope{Error: d}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// WriteError renders err as the v1 error envelope.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, Envelope(status, err))
+}

@@ -2,47 +2,17 @@ package serve
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"strings"
 
 	"ppcsim"
-	"ppcsim/internal/trace"
 )
 
-// Request is the JSON body of POST /simulate. Exactly one of Trace (a
-// bundled trace name) or TraceText (an inline trace in the ppctrace text
-// format, see trace.Write) selects the workload. Absent optional fields
-// take the simulator's defaults, matching ppcsim.Options: zero Disks
-// means one drive, zero CacheBlocks means the trace's default size, and
-// zero batch/horizon/estimate values mean the paper's Table 6 settings.
+// Request is the JSON body of POST /v1/run: one RunSpec (the shared
+// simulation schema, flattened into the same object) plus the
+// transport-only timeout. See RunSpec for the field semantics.
 type Request struct {
-	Trace     string `json:"trace,omitempty"`
-	TraceText string `json:"trace_text,omitempty"`
-	Algorithm string `json:"algorithm"`
-	// Disks and CacheBlocks are pointers so the boundary can tell an
-	// absent field (use the default) from an explicit zero (an error —
-	// a zero-disk array or an empty cache cannot simulate anything).
-	Disks            *int    `json:"disks,omitempty"`
-	CacheBlocks      *int    `json:"cache_blocks,omitempty"`
-	Scheduler        string  `json:"scheduler,omitempty"`
-	BatchSize        int     `json:"batch_size,omitempty"`
-	Horizon          int     `json:"horizon,omitempty"`
-	FetchEstimate    float64 `json:"fetch_estimate,omitempty"`
-	ForestallFixedF  float64 `json:"forestall_fixed_f,omitempty"`
-	DriverOverheadMs float64 `json:"driver_overhead_ms,omitempty"`
-	SimpleDiskModel  bool    `json:"simple_disk_model,omitempty"`
-	PlacementSeed    int64   `json:"placement_seed,omitempty"`
-	CPUScale         float64 `json:"cpu_scale,omitempty"`
-	Hints            *Hints  `json:"hints,omitempty"`
-	// Window is the lookahead limit in references: the policy sees hinted
-	// references at most window positions past the current one, with
-	// eviction falling back to LRU beyond that horizon. A pointer so the
-	// boundary can tell an absent field (unlimited lookahead, the paper's
-	// setting) from an explicit non-positive value (an error).
-	Window *int `json:"window,omitempty"`
+	RunSpec
 	// TimeoutMs caps this request's simulation time (host milliseconds).
 	// It is clamped to the server's MaxTimeout and excluded from the
 	// result-cache key: two requests for the same simulation share one
@@ -50,19 +20,11 @@ type Request struct {
 	TimeoutMs float64 `json:"timeout_ms,omitempty"`
 }
 
-// Hints mirrors ppcsim.HintSpec in the request schema.
-type Hints struct {
-	Fraction float64 `json:"fraction"`
-	Accuracy float64 `json:"accuracy"`
-	Seed     int64   `json:"seed,omitempty"`
-}
-
-// ParseRequest decodes and boundary-checks a /simulate body. Decoding is
+// ParseRequest decodes and boundary-checks a /v1/run body. Decoding is
 // strict (unknown fields are rejected, so typos fail loudly instead of
 // simulating the wrong configuration). Validation failures are
-// *ppcsim.ConfigError values naming the offending field, the same shape
-// ppcsim.Options.Validate returns, so the handler renders every
-// configuration problem as one 400 JSON form.
+// *ppcsim.ConfigError values naming the offending field, which the
+// handler renders as the 400 error envelope.
 func ParseRequest(body []byte) (*Request, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
@@ -74,186 +36,11 @@ func ParseRequest(body []byte) (*Request, error) {
 	if dec.More() {
 		return nil, &ppcsim.ConfigError{Field: "Request", Reason: "trailing data after JSON body"}
 	}
-	if err := req.validate(); err != nil {
+	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	if req.TimeoutMs < 0 {
+		return nil, &ppcsim.ConfigError{Field: "TimeoutMs", Reason: fmt.Sprintf("must be non-negative, got %g", req.TimeoutMs)}
+	}
 	return &req, nil
-}
-
-// validate applies the boundary rules that precede option assembly:
-// exactly one trace source, a known algorithm and scheduler, and
-// positive disk/cache/scale/timeout values where present.
-func (r *Request) validate() error {
-	switch {
-	case r.Trace == "" && r.TraceText == "":
-		return &ppcsim.ConfigError{Field: "Trace", Reason: "one of trace or trace_text is required"}
-	case r.Trace != "" && r.TraceText != "":
-		return &ppcsim.ConfigError{Field: "Trace", Reason: "trace and trace_text are mutually exclusive"}
-	}
-	if _, err := ppcsim.ParseAlgorithm(r.Algorithm); err != nil {
-		return err
-	}
-	if r.Scheduler != "" {
-		if _, err := ppcsim.ParseDiscipline(r.Scheduler); err != nil {
-			return err
-		}
-	}
-	if r.Disks != nil && *r.Disks <= 0 {
-		return &ppcsim.ConfigError{Field: "Disks", Reason: fmt.Sprintf("must be positive, got %d", *r.Disks)}
-	}
-	if r.CacheBlocks != nil && *r.CacheBlocks <= 0 {
-		return &ppcsim.ConfigError{Field: "CacheBlocks", Reason: fmt.Sprintf("must be positive, got %d", *r.CacheBlocks)}
-	}
-	if r.Window != nil && *r.Window <= 0 {
-		return &ppcsim.ConfigError{Field: "Window", Reason: fmt.Sprintf("must be positive, got %d (omit the field for unlimited lookahead)", *r.Window)}
-	}
-	if r.CPUScale < 0 {
-		return &ppcsim.ConfigError{Field: "CPUScale", Reason: fmt.Sprintf("must be non-negative, got %g", r.CPUScale)}
-	}
-	if r.TimeoutMs < 0 {
-		return &ppcsim.ConfigError{Field: "TimeoutMs", Reason: fmt.Sprintf("must be non-negative, got %g", r.TimeoutMs)}
-	}
-	return nil
-}
-
-// canonical is the deterministic cache-key shape: every option that
-// changes the simulation's outcome, with defaults filled in, and inline
-// traces replaced by a content hash. TimeoutMs is deliberately absent.
-type canonical struct {
-	Trace            string  `json:"t,omitempty"`
-	TraceHash        string  `json:"th,omitempty"`
-	Algorithm        string  `json:"a"`
-	Disks            int     `json:"d"`
-	CacheBlocks      int     `json:"c"`
-	Scheduler        string  `json:"s"`
-	BatchSize        int     `json:"b"`
-	Horizon          int     `json:"h"`
-	FetchEstimate    float64 `json:"f"`
-	ForestallFixedF  float64 `json:"ff"`
-	DriverOverheadMs float64 `json:"dr"`
-	SimpleDiskModel  bool    `json:"sd"`
-	PlacementSeed    int64   `json:"ps"`
-	CPUScale         float64 `json:"cs"`
-	Hints            *Hints  `json:"hi,omitempty"`
-	Window           int     `json:"w,omitempty"`
-}
-
-// Key returns the canonical result-cache key of a validated request:
-// equal keys mean runs with byte-identical Result JSON, so cache lookups
-// and singleflight deduplication both hang off it.
-func (r *Request) Key() string {
-	c := canonical{
-		Trace:            r.Trace,
-		Algorithm:        r.Algorithm,
-		Disks:            1,
-		Scheduler:        "cscan",
-		BatchSize:        r.BatchSize,
-		Horizon:          r.Horizon,
-		FetchEstimate:    r.FetchEstimate,
-		ForestallFixedF:  r.ForestallFixedF,
-		DriverOverheadMs: r.DriverOverheadMs,
-		SimpleDiskModel:  r.SimpleDiskModel,
-		PlacementSeed:    r.PlacementSeed,
-		CPUScale:         1,
-		Hints:            r.Hints,
-	}
-	if a, err := ppcsim.ParseAlgorithm(r.Algorithm); err == nil {
-		c.Algorithm = string(a) // normalized case/space form
-	}
-	if r.TraceText != "" {
-		sum := sha256.Sum256([]byte(r.TraceText))
-		c.Trace, c.TraceHash = "", hex.EncodeToString(sum[:])
-	}
-	if r.Disks != nil {
-		c.Disks = *r.Disks
-	}
-	if r.CacheBlocks != nil {
-		c.CacheBlocks = *r.CacheBlocks
-	}
-	if r.Scheduler != "" {
-		if d, err := ppcsim.ParseDiscipline(r.Scheduler); err == nil && d == ppcsim.FCFS {
-			c.Scheduler = "fcfs"
-		}
-	}
-	if r.CPUScale != 0 { //ppcvet:ignore unset-field sentinel, decoded rather than computed
-		c.CPUScale = r.CPUScale
-	}
-	if r.Window != nil {
-		c.Window = *r.Window
-	}
-	key, err := json.Marshal(c)
-	if err != nil {
-		// canonical contains only marshalable field types; unreachable.
-		panic(err)
-	}
-	return string(key)
-}
-
-// Options assembles the validated request into simulator options,
-// resolving the trace through loadTrace (which may cache bundled
-// traces). It finishes with ppcsim.Options.Validate, so every
-// configuration error the library can diagnose surfaces here as a
-// *ppcsim.ConfigError before any queue slot is consumed.
-func (r *Request) Options(loadTrace func(name string) (*ppcsim.Trace, error)) (ppcsim.Options, error) {
-	var tr *ppcsim.Trace
-	var err error
-	if r.TraceText != "" {
-		tr, err = trace.Read(strings.NewReader(r.TraceText))
-		if err != nil {
-			return ppcsim.Options{}, &ppcsim.ConfigError{Field: "TraceText", Reason: err.Error()}
-		}
-	} else {
-		tr, err = loadTrace(r.Trace)
-		if err != nil {
-			return ppcsim.Options{}, &ppcsim.ConfigError{Field: "Trace", Reason: err.Error()}
-		}
-	}
-	if r.CPUScale != 0 && r.CPUScale != 1 { //ppcvet:ignore flag-default sentinel, decoded rather than computed
-		tr = tr.ScaleCompute(r.CPUScale)
-	}
-	alg, err := ppcsim.ParseAlgorithm(r.Algorithm)
-	if err != nil {
-		return ppcsim.Options{}, err
-	}
-	opts := ppcsim.Options{
-		Trace:            tr,
-		Algorithm:        alg,
-		BatchSize:        r.BatchSize,
-		Horizon:          r.Horizon,
-		FetchEstimate:    r.FetchEstimate,
-		ForestallFixedF:  r.ForestallFixedF,
-		DriverOverheadMs: r.DriverOverheadMs,
-		SimpleDiskModel:  r.SimpleDiskModel,
-		PlacementSeed:    r.PlacementSeed,
-	}
-	if r.Disks != nil {
-		opts.Disks = *r.Disks
-	}
-	if r.CacheBlocks != nil {
-		opts.CacheBlocks = *r.CacheBlocks
-	}
-	if r.Scheduler != "" {
-		if opts.Scheduler, err = ppcsim.ParseDiscipline(r.Scheduler); err != nil {
-			return ppcsim.Options{}, err
-		}
-	}
-	if r.Hints != nil {
-		opts.Hints = &ppcsim.HintSpec{
-			Fraction: r.Hints.Fraction,
-			Accuracy: r.Hints.Accuracy,
-			Seed:     r.Hints.Seed,
-		}
-	}
-	if r.Window != nil {
-		if opts.Hints == nil {
-			// A bare window means fully-disclosed, accurate hints limited
-			// in reach — the TIP2-style partial-knowledge setting.
-			opts.Hints = &ppcsim.HintSpec{Fraction: 1, Accuracy: 1}
-		}
-		opts.Hints.Window = *r.Window
-	}
-	if err := opts.Validate(); err != nil {
-		return ppcsim.Options{}, err
-	}
-	return opts, nil
 }

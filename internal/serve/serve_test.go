@@ -47,7 +47,7 @@ func (g *gateRunner) run(ctx context.Context, opts ppcsim.Options) (ppcsim.Resul
 
 func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
 	t.Helper()
-	resp, err := ts.Client().Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,14 +158,17 @@ func TestDecoderBoundaries(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("status %d, want 400; body: %s", resp.StatusCode, body)
 			}
-			var eb errorBody
-			if err := json.Unmarshal(body, &eb); err != nil {
+			var env ErrorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
 				t.Fatalf("non-JSON error body: %v\n%s", err, body)
 			}
-			if eb.Field != c.field {
-				t.Errorf("error field %q, want %q (error: %s)", eb.Field, c.field, eb.Error)
+			if env.Error.Field != c.field {
+				t.Errorf("error field %q, want %q (error: %s)", env.Error.Field, c.field, env.Error.Message)
 			}
-			if eb.Error == "" {
+			if env.Error.Code != CodeInvalidRequest {
+				t.Errorf("error code %q, want %q", env.Error.Code, CodeInvalidRequest)
+			}
+			if env.Error.Message == "" {
 				t.Error("empty error message")
 			}
 		})
@@ -301,9 +304,12 @@ func TestBackpressure(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After")
 	}
-	var eb errorBody
-	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
-		t.Errorf("429 body is not the JSON error form: %s", body)
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Message == "" {
+		t.Errorf("429 body is not the JSON error envelope: %s", body)
+	}
+	if env.Error.Code != CodeQueueFull {
+		t.Errorf("429 code %q, want %q", env.Error.Code, CodeQueueFull)
 	}
 
 	close(gate.release)
@@ -376,7 +382,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("post-drain request: status %d, want 503", resp.StatusCode)
 	}
-	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	hresp, err := ts.Client().Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +420,7 @@ func TestHealthzAndStatsz(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	hresp, err := ts.Client().Get(ts.URL + "/healthz")
+	hresp, err := ts.Client().Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +433,7 @@ func TestHealthzAndStatsz(t *testing.T) {
 	post(t, ts, body)
 	post(t, ts, body)
 
-	sresp, err := ts.Client().Get(ts.URL + "/statsz")
+	sresp, err := ts.Client().Get(ts.URL + "/v1/statsz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -442,8 +448,13 @@ func TestHealthzAndStatsz(t *testing.T) {
 	if st.CacheHitRate != 0.5 {
 		t.Errorf("hit rate %g, want 0.5", st.CacheHitRate)
 	}
-	if st.LatencyCount != 1 || st.LatencyP95Ms < 0 {
-		t.Errorf("latency summary: %+v", st)
+	// One computed run and one cache hit: each latency series gets
+	// exactly one sample, so a hit can never hide a slow computed run.
+	if st.LatencyMiss.Count != 1 || st.LatencyMiss.P95Ms < 0 {
+		t.Errorf("miss latency summary: %+v", st.LatencyMiss)
+	}
+	if st.LatencyHit.Count != 1 || st.LatencyHit.P95Ms < 0 {
+		t.Errorf("hit latency summary: %+v", st.LatencyHit)
 	}
 	if st.Workers != 1 || st.QueueCapacity != 4 {
 		t.Errorf("pool shape: %+v", st)
@@ -458,13 +469,13 @@ func TestMethodAndSizeLimits(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp, err := ts.Client().Get(ts.URL + "/simulate")
+	resp, err := ts.Client().Get(ts.URL + "/v1/run")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /simulate: %d, want 405", resp.StatusCode)
+		t.Errorf("GET /v1/run: %d, want 405", resp.StatusCode)
 	}
 
 	big := fmt.Sprintf(`{"trace_text":%q,"algorithm":"demand"}`, inlineTrace("big", 64, 500))
@@ -526,24 +537,102 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+// TestLegacyShims: the pre-v1 paths survive one release as thin shims —
+// POST /simulate answers 308 to /v1/run (method- and body-preserving,
+// so redirect-following clients keep working), and the unversioned GET
+// endpoints alias their v1 handlers with a Deprecation header.
+func TestLegacyShims(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Raw shim behavior, redirects not followed.
+	noFollow := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	resp, err := noFollow.Post(ts.URL+"/simulate", "application/json",
+		strings.NewReader(`{"trace":"synth","algorithm":"demand"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPermanentRedirect {
+		t.Fatalf("POST /simulate: status %d, want 308", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/run" {
+		t.Errorf("Location %q, want /v1/run", loc)
+	}
+	if resp.Header.Get("Deprecation") == "" {
+		t.Error("308 shim without Deprecation header")
+	}
+
+	// A default client follows the 308 and reaches the real handler.
+	body := fmt.Sprintf(`{"trace_text":%q,"algorithm":"demand"}`, inlineTrace("legacy", 16, 50))
+	resp2, err := ts.Client().Post(ts.URL+"/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("redirected /simulate: status %d", resp2.StatusCode)
+	}
+	var res ppcsim.Result
+	if err := json.NewDecoder(resp2.Body).Decode(&res); err != nil {
+		t.Fatalf("bad result through shim: %v", err)
+	}
+
+	// GET aliases serve the v1 payloads and flag deprecation.
+	for _, path := range []string{"/healthz", "/statsz"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Deprecation") == "" {
+			t.Errorf("GET %s without Deprecation header", path)
+		}
+	}
+
+	// Unknown paths draw the 404 envelope, not net/http's plain text.
+	resp3, err := ts.Client().Get(ts.URL + "/v2/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp3.Body).Decode(&env); err != nil || env.Error.Code != CodeNotFound {
+		t.Errorf("404 body not the envelope (err %v, code %q)", err, env.Error.Code)
+	}
+	resp3.Body.Close()
+}
+
 // TestKeyCanonicalization: keys are insensitive to spelling defaults
 // explicitly and to algorithm case, but sensitive to every
 // outcome-changing option and to inline-trace content.
 func TestKeyCanonicalization(t *testing.T) {
 	one := 1
-	base := Request{Trace: "synth", Algorithm: "demand"}
-	same := []Request{
+	base := RunSpec{Trace: "synth", Algorithm: "demand"}
+	same := []RunSpec{
 		{Trace: "synth", Algorithm: "DEMAND"},
 		{Trace: "synth", Algorithm: "demand", Disks: &one, Scheduler: "cscan", CPUScale: 1},
-		{Trace: "synth", Algorithm: "demand", TimeoutMs: 500},
 	}
 	for i, r := range same {
 		if r.Key() != base.Key() {
 			t.Errorf("variant %d key differs:\n%s\n%s", i, r.Key(), base.Key())
 		}
 	}
+	// The transport-only timeout lives on Request, outside the key.
+	withTimeout := Request{RunSpec: base, TimeoutMs: 500}
+	if withTimeout.Key() != base.Key() {
+		t.Errorf("timeout_ms leaked into the canonical key")
+	}
 	two := 2
-	diff := []Request{
+	diff := []RunSpec{
 		{Trace: "xds", Algorithm: "demand"},
 		{Trace: "synth", Algorithm: "forestall"},
 		{Trace: "synth", Algorithm: "demand", Disks: &two},
@@ -559,8 +648,8 @@ func TestKeyCanonicalization(t *testing.T) {
 			t.Errorf("variant %d should have a distinct key", i)
 		}
 	}
-	if (&Request{TraceText: inlineTrace("a", 8, 8), Algorithm: "demand"}).Key() ==
-		(&Request{TraceText: inlineTrace("a", 8, 9), Algorithm: "demand"}).Key() {
+	if (&RunSpec{TraceText: inlineTrace("a", 8, 8), Algorithm: "demand"}).Key() ==
+		(&RunSpec{TraceText: inlineTrace("a", 8, 9), Algorithm: "demand"}).Key() {
 		t.Error("different inline traces share a key")
 	}
 }

@@ -6,11 +6,21 @@
 // cooperatively (ppcsim.RunContext), and shutdown drains every accepted
 // request before returning.
 //
-// Endpoints:
+// A Server is also the worker role of a sweep cluster: the coordinator
+// (ppcsim/internal/serve/coord) routes sweep cells to a fleet of these
+// servers over the same /v1/run contract, either via HTTP or embedded
+// in process through RunJSON.
 //
-//	POST /simulate  run (or serve from cache) one simulation; JSON in/out
-//	GET  /healthz   liveness and drain state
-//	GET  /statsz    queue depth, cache hit rate, latency percentiles
+// v1 endpoints (see docs/api-v1.md):
+//
+//	POST /v1/run      run (or serve from cache) one simulation; JSON in/out
+//	GET  /v1/healthz  liveness and drain state
+//	GET  /v1/statsz   queue depth, cache hit rate, latency percentiles
+//
+// The pre-v1 paths remain as deprecation shims for one release:
+// POST /simulate answers 308 Permanent Redirect to /v1/run, and the
+// unversioned GET /healthz and /statsz alias their v1 handlers with a
+// Deprecation header.
 package serve
 
 import (
@@ -69,17 +79,21 @@ type Server struct {
 
 	draining atomic.Bool
 
-	// Service-level counters (see /statsz).
-	requests  obs.Counter // POST /simulate bodies decoded
-	completed obs.Counter // 200 responses from fresh runs
-	failed    obs.Counter // 500 responses
-	rejected  obs.Counter // 429 responses (queue full)
-	timeouts  obs.Counter // 504 responses (deadline exceeded)
+	// Service-level counters (see /v1/statsz).
+	requests  obs.Counter // /v1/run bodies decoded
+	completed obs.Counter // successful fresh runs
+	failed    obs.Counter // internal failures
+	rejected  obs.Counter // queue-full rejections (429)
+	timeouts  obs.Counter // deadline expirations (504)
 	deduped   obs.Counter // requests that joined another request's run
 	cacheHits obs.Counter // served straight from the result cache
 	cacheMiss obs.Counter
 	runs      obs.Counter // underlying simulations actually executed
-	latency   obs.SyncHistogram
+	// Request latency split by cache outcome: lumping the
+	// microsecond-scale hits in with computed runs hides pool saturation
+	// behind a flood of fast hits, so each series is its own histogram.
+	latencyHit  obs.SyncHistogram
+	latencyMiss obs.SyncHistogram
 }
 
 // New builds a Server and starts its worker pool.
@@ -112,10 +126,40 @@ func New(cfg Config) *Server {
 		traces: make(map[string]*ppcsim.Trace),
 		mux:    http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/simulate", s.handleSimulate)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/statsz", s.handleStatsz)
+	// Deprecation shims for the pre-v1 surface (one release).
+	s.mux.HandleFunc("/simulate", redirectV1("/v1/run"))
+	s.mux.HandleFunc("/healthz", deprecated(s.handleHealthz))
+	s.mux.HandleFunc("/statsz", deprecated(s.handleStatsz))
+	s.mux.HandleFunc("/", handleNotFound)
 	return s
+}
+
+// redirectV1 returns a shim handler answering 308 Permanent Redirect to
+// the v1 path. 308 preserves the method and body, so POST clients that
+// follow redirects keep working through the deprecation window.
+func redirectV1(target string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", target))
+		http.Redirect(w, r, target, http.StatusPermanentRedirect)
+	}
+}
+
+// deprecated aliases a v1 GET handler under its unversioned path,
+// flagging the response so clients can migrate before the shim is
+// removed.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
+}
+
+func handleNotFound(w http.ResponseWriter, r *http.Request) {
+	WriteError(w, http.StatusNotFound, fmt.Errorf("serve: no such endpoint %s", r.URL.Path))
 }
 
 // Handler returns the service's HTTP handler.
@@ -129,57 +173,59 @@ func (s *Server) Close() {
 	s.pool.drain()
 }
 
-// errorBody is the JSON error form of every non-200 response.
-type errorBody struct {
-	Error string `json:"error"`
-	// Field names the offending request field for 400s, mirroring
-	// ppcsim.ConfigError.
-	Field string `json:"field,omitempty"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	body := errorBody{Error: err.Error()}
-	var cfgErr *ppcsim.ConfigError
-	if errors.As(err, &cfgErr) {
-		body.Field = cfgErr.Field
-	}
-	writeJSON(w, status, body)
-}
-
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			WriteError(w, http.StatusRequestEntityTooLarge, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 		}
 		return
 	}
+	val, hit, err := s.RunJSON(body)
+	if err != nil {
+		status := StatusForError(err)
+		if status == http.StatusTooManyRequests {
+			// The queue holds at most QueueDepth simulations ahead of a
+			// retry; one second is a sane lower bound for a slot to free.
+			w.Header().Set("Retry-After", "1")
+		}
+		WriteError(w, status, err)
+		return
+	}
+	xcache := "miss"
+	if hit {
+		xcache = "hit"
+	}
+	s.writeResult(w, val, xcache)
+}
+
+// RunJSON is the transport-independent worker entry point: it decodes
+// one /v1/run body, serves it from the result cache or runs it on the
+// worker pool (deduplicating concurrent identical requests), and
+// returns the exact response bytes plus whether the cache answered.
+// The HTTP handler and the coordinator's embedded single-process mode
+// both call it, so a simulation behaves identically however it
+// arrives. Errors map to HTTP statuses via StatusForError.
+func (s *Server) RunJSON(body []byte) (val []byte, cacheHit bool, err error) {
 	s.requests.Inc()
 	req, err := ParseRequest(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, false, err
 	}
+	start := time.Now()
 	key := req.Key()
 	if cached, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
-		s.writeResult(w, cached, "hit")
-		return
+		s.latencyHit.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		return cached, true, nil
 	}
 	s.cacheMiss.Inc()
 	val, err, shared := s.group.do(key, func() ([]byte, error) {
@@ -193,29 +239,25 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		s.deduped.Inc()
 	}
-	switch {
-	case err == nil:
-		s.writeResult(w, val, "miss")
-	case errors.Is(err, ErrQueueFull):
-		s.rejected.Inc()
-		// The queue holds at most QueueDepth simulations ahead of a
-		// retry; one second is a sane lower bound for a slot to free.
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, ppcsim.ErrCanceled):
-		s.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, err)
-	default:
-		var cfgErr *ppcsim.ConfigError
-		if errors.As(err, &cfgErr) {
-			writeError(w, http.StatusBadRequest, err)
-			return
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.rejected.Inc()
+		case errors.Is(err, ppcsim.ErrCanceled):
+			s.timeouts.Inc()
+		case errors.Is(err, ErrClosed):
+		default:
+			var cfgErr *ppcsim.ConfigError
+			if !errors.As(err, &cfgErr) {
+				s.failed.Inc()
+			}
 		}
-		s.failed.Inc()
-		writeError(w, http.StatusInternalServerError, err)
+		return nil, false, err
 	}
+	// Only completed work lands in the miss series: fast failures (429,
+	// 400) would otherwise drag the computed-run distribution down.
+	s.latencyMiss.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return val, false, nil
 }
 
 // writeResult sends a cached or fresh Result JSON body. The bytes are
@@ -247,7 +289,6 @@ func (s *Server) execute(req *Request, key string) ([]byte, error) {
 		runErr error
 		done   = make(chan struct{})
 	)
-	start := time.Now()
 	job := func() {
 		defer close(done)
 		defer func() {
@@ -269,7 +310,6 @@ func (s *Server) execute(req *Request, key string) ([]byte, error) {
 		return nil, err
 	}
 	<-done
-	s.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -313,7 +353,29 @@ func (s *Server) loadTrace(name string) (*ppcsim.Trace, error) {
 	return tr, nil
 }
 
-// Stats is the /statsz response.
+// LatencySummary is one latency distribution in the /v1/statsz
+// response.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Summarize collects a histogram into the stats wire form; shared with
+// the coordinator's stream-lag series.
+func Summarize(h *obs.SyncHistogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMs: h.MeanMs(),
+		P50Ms:  h.Quantile(0.50),
+		P95Ms:  h.Quantile(0.95),
+		P99Ms:  h.Quantile(0.99),
+	}
+}
+
+// Stats is the /v1/statsz response.
 type Stats struct {
 	Draining      bool `json:"draining"`
 	Workers       int  `json:"workers"`
@@ -335,11 +397,12 @@ type Stats struct {
 
 	Simulations int64 `json:"simulations"`
 
-	LatencyCount  int64   `json:"latency_count"`
-	LatencyMeanMs float64 `json:"latency_mean_ms"`
-	LatencyP50Ms  float64 `json:"latency_p50_ms"`
-	LatencyP95Ms  float64 `json:"latency_p95_ms"`
-	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	// LatencyHit covers requests answered from the result cache;
+	// LatencyMiss covers requests that waited on a computed run (their
+	// own or a deduplicated leader's). Separate series keep cache hits
+	// from masking pool saturation.
+	LatencyHit  LatencySummary `json:"latency_hit"`
+	LatencyMiss LatencySummary `json:"latency_miss"`
 }
 
 // Snapshot collects the current service statistics.
@@ -360,11 +423,8 @@ func (s *Server) Snapshot() Stats {
 		CacheHits:     s.cacheHits.Load(),
 		CacheMisses:   s.cacheMiss.Load(),
 		Simulations:   s.runs.Load(),
-		LatencyCount:  s.latency.Count(),
-		LatencyMeanMs: s.latency.MeanMs(),
-		LatencyP50Ms:  s.latency.Quantile(0.50),
-		LatencyP95Ms:  s.latency.Quantile(0.95),
-		LatencyP99Ms:  s.latency.Quantile(0.99),
+		LatencyHit:    Summarize(&s.latencyHit),
+		LatencyMiss:   Summarize(&s.latencyMiss),
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
