@@ -1,7 +1,10 @@
 // Command ppc-bench runs the simulator's hot-path benchmark grid — the
 // same (policy, disk count) grid as BenchmarkHotPath in bench_test.go —
 // on the full synthetic trace and writes the results as BENCH_<n>.json
-// (ns/op, allocs/op, refs/sec per grid point).
+// (ns/op, allocs/op, refs/sec per grid point). A second, streaming grid
+// runs the same policies over a synthetic zipf trace consumed through
+// Options.Source, adding refs/sec and allocated bytes/ref for the
+// bounded-memory path (mode "stream" in the JSON; -large-refs sizes it).
 //
 // Usage:
 //
@@ -18,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -34,6 +38,12 @@ type benchPoint struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	RefsPerSec  float64 `json:"refs_per_sec"`
+	// BytesPerRef is allocated bytes per reference — the streaming grid's
+	// bounded-memory figure of merit (populated for mode "stream").
+	BytesPerRef float64 `json:"bytes_per_ref,omitempty"`
+	// Mode distinguishes the materialized hot-path grid ("") from the
+	// streaming large-trace grid ("stream").
+	Mode string `json:"mode,omitempty"`
 
 	// Populated only when -baseline is given.
 	BaselineRefsPerSec float64 `json:"baseline_refs_per_sec,omitempty"`
@@ -42,43 +52,63 @@ type benchPoint struct {
 
 // benchFile is the BENCH_<n>.json document.
 type benchFile struct {
-	Trace      string       `json:"trace"`
-	Refs       int          `json:"refs"`
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Baseline   string       `json:"baseline,omitempty"`
-	Results    []benchPoint `json:"results"`
+	Trace      string `json:"trace"`
+	Refs       int    `json:"refs"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Baseline   string `json:"baseline,omitempty"`
+	// LargeTrace/LargeRefs/LargeWindow describe the streaming grid's
+	// synthetic workload (the mode "stream" results).
+	LargeTrace  string       `json:"large_trace,omitempty"`
+	LargeRefs   int64        `json:"large_refs,omitempty"`
+	LargeWindow int          `json:"large_window,omitempty"`
+	Results     []benchPoint `json:"results"`
 }
 
-// grid mirrors bench_test.go's hot-path grid.
+// grid mirrors bench_test.go's hot-path grid; the streaming grid keeps
+// the same policies over a smaller disk set.
 var (
-	gridAlgs  = []ppcsim.Algorithm{ppcsim.Demand, ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall}
-	gridDisks = []int{1, 2, 4, 8, 16}
+	gridAlgs    = []ppcsim.Algorithm{ppcsim.Demand, ppcsim.FixedHorizon, ppcsim.Aggressive, ppcsim.Forestall}
+	gridDisks   = []int{1, 2, 4, 8, 16}
+	streamDisks = []int{1, 4, 16}
 )
 
 func main() {
-	var (
-		traceName = flag.String("trace", "synth", "trace to benchmark")
-		benchtime = flag.String("benchtime", "", "per-point benchmark time (e.g. 2s or 10x; default 1s)")
-		baseline  = flag.String("baseline", "", "prior BENCH_<n>.json to compute speedups against")
-		out       = flag.String("o", "", "output file (default: next unused BENCH_<n>.json)")
-		best      = flag.Int("best", 1, "measure each grid point N times and keep the fastest (noise rejection)")
-	)
 	testing.Init()
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ppc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with the process edges injected for the tests.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ppc-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		traceName = fs.String("trace", "synth", "trace to benchmark")
+		benchtime = fs.String("benchtime", "", "per-point benchmark time (e.g. 2s or 10x; default 1s)")
+		baseline  = fs.String("baseline", "", "prior BENCH_<n>.json to compute speedups against")
+		out       = fs.String("o", "", "output file (default: next unused BENCH_<n>.json)")
+		best      = fs.Int("best", 1, "measure each grid point N times and keep the fastest (noise rejection)")
+		largeRefs = fs.Int64("large-refs", 200_000, "streaming large-trace grid length (0 disables the grid)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *benchtime != "" {
 		if err := flag.Set("test.benchtime", *benchtime); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	tr, err := ppcsim.NewTrace(*traceName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	refs := len(tr.Refs)
 
-	var base map[string]float64 // "policy/disks" -> refs/sec
+	var base map[string]float64 // "policy/disks/mode" -> refs/sec
 	doc := benchFile{
 		Trace:      *traceName,
 		Refs:       refs,
@@ -88,7 +118,7 @@ func main() {
 	if *baseline != "" {
 		base, err = loadBaseline(*baseline)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		doc.Baseline = *baseline
 	}
@@ -100,14 +130,19 @@ func main() {
 			// System noise only ever slows a run down, so the fastest of
 			// -best repeats is the least-perturbed measurement.
 			for rep := 0; rep < *best || rep == 0; rep++ {
+				var failed error
 				res := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						if _, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: alg, Disks: d}); err != nil {
-							b.Fatal(err)
+							failed = err
+							b.FailNow()
 						}
 					}
 				})
+				if failed != nil {
+					return failed
+				}
 				rps := float64(refs) * float64(res.N) / res.T.Seconds()
 				if rep == 0 || rps > pt.RefsPerSec {
 					pt = benchPoint{
@@ -121,16 +156,80 @@ func main() {
 					}
 				}
 			}
-			if b, ok := base[fmt.Sprintf("%s/%d", alg, d)]; ok && b > 0 {
+			if b, ok := base[fmt.Sprintf("%s/%d/", alg, d)]; ok && b > 0 {
 				pt.BaselineRefsPerSec = b
 				pt.Speedup = pt.RefsPerSec / b
 			}
 			doc.Results = append(doc.Results, pt)
-			fmt.Fprintf(os.Stderr, "%-14s %2dd  %12d ns/op  %7d allocs/op  %11.0f refs/s", alg, d, pt.NsPerOp, pt.AllocsPerOp, pt.RefsPerSec)
+			fmt.Fprintf(stderr, "%-14s %2dd  %12d ns/op  %7d allocs/op  %11.0f refs/s", alg, d, pt.NsPerOp, pt.AllocsPerOp, pt.RefsPerSec)
 			if pt.Speedup > 0 {
-				fmt.Fprintf(os.Stderr, "  %5.2fx", pt.Speedup)
+				fmt.Fprintf(stderr, "  %5.2fx", pt.Speedup)
 			}
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
+		}
+	}
+
+	// The streaming large-trace grid: the same policies over a synthetic
+	// zipf workload consumed through Options.Source, reporting refs/sec
+	// and allocated bytes/ref (the bounded-memory figure: it must stay
+	// flat as -large-refs grows).
+	if *largeRefs > 0 {
+		const window = 1000
+		spec := ppcsim.LargeTraceSpec{Refs: *largeRefs, Blocks: 1 << 16, Pattern: "zipf", Seed: 1}
+		src, err := spec.Source()
+		if err != nil {
+			return err
+		}
+		doc.LargeTrace = src.Meta().Name
+		doc.LargeRefs = *largeRefs
+		doc.LargeWindow = window
+		for _, alg := range gridAlgs {
+			for _, d := range streamDisks {
+				alg, d := alg, d
+				var pt benchPoint
+				for rep := 0; rep < *best || rep == 0; rep++ {
+					var failed error
+					res := testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							opts := ppcsim.Options{
+								Source:    src,
+								Algorithm: alg,
+								Disks:     d,
+								Hints:     &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: window},
+							}
+							if _, err := ppcsim.Run(opts); err != nil {
+								failed = err
+								b.FailNow()
+							}
+						}
+					})
+					if failed != nil {
+						return failed
+					}
+					rps := float64(*largeRefs) * float64(res.N) / res.T.Seconds()
+					if rep == 0 || rps > pt.RefsPerSec {
+						pt = benchPoint{
+							Policy:      string(alg),
+							Disks:       d,
+							Iterations:  res.N,
+							NsPerOp:     res.NsPerOp(),
+							AllocsPerOp: res.AllocsPerOp(),
+							BytesPerOp:  res.AllocedBytesPerOp(),
+							RefsPerSec:  rps,
+							BytesPerRef: float64(res.AllocedBytesPerOp()) / float64(*largeRefs),
+							Mode:        "stream",
+						}
+					}
+				}
+				if b, ok := base[fmt.Sprintf("%s/%d/stream", alg, d)]; ok && b > 0 {
+					pt.BaselineRefsPerSec = b
+					pt.Speedup = pt.RefsPerSec / b
+				}
+				doc.Results = append(doc.Results, pt)
+				fmt.Fprintf(stderr, "%-14s %2dd  stream %12d ns/op  %8.2f bytes/ref  %11.0f refs/s\n",
+					alg, d, pt.NsPerOp, pt.BytesPerRef, pt.RefsPerSec)
+			}
 		}
 	}
 
@@ -140,12 +239,13 @@ func main() {
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Println(path)
+	fmt.Fprintln(stdout, path)
+	return nil
 }
 
 // loadBaseline reads a prior BENCH file into a grid-point lookup.
@@ -160,7 +260,7 @@ func loadBaseline(path string) (map[string]float64, error) {
 	}
 	m := make(map[string]float64, len(doc.Results))
 	for _, r := range doc.Results {
-		m[fmt.Sprintf("%s/%d", r.Policy, r.Disks)] = r.RefsPerSec
+		m[fmt.Sprintf("%s/%d/%s", r.Policy, r.Disks, r.Mode)] = r.RefsPerSec
 	}
 	return m, nil
 }
@@ -173,9 +273,4 @@ func nextBenchFile() string {
 			return path
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ppc-bench:", err)
-	os.Exit(1)
 }

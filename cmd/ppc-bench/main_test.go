@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadBaseline covers the BENCH file lookup keys: hot-path points
+// key as policy/disks/ and streaming points as policy/disks/stream.
+func TestLoadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	doc := `{
+  "results": [
+    {"policy": "demand", "disks": 4, "refs_per_sec": 1000},
+    {"policy": "demand", "disks": 4, "refs_per_sec": 500, "mode": "stream"}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["demand/4/"] != 1000 || m["demand/4/stream"] != 500 {
+		t.Fatalf("baseline map = %v", m)
+	}
+
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil {
+		t.Error("malformed baseline accepted")
+	}
+}
+
+// TestNextBenchFile picks the first unused BENCH_<n>.json.
+func TestNextBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	if got := nextBenchFile(); got != "BENCH_1.json" {
+		t.Fatalf("empty dir: %q", got)
+	}
+	if err := os.WriteFile("BENCH_1.json", []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := nextBenchFile(); got != "BENCH_2.json" {
+		t.Fatalf("after BENCH_1: %q", got)
+	}
+}
+
+// TestRunWritesGrid drives the full grid once (-benchtime 1x on the
+// smallest bundled trace) and checks the written BENCH document's
+// shape, then replays it as its own baseline to cover the speedup path.
+func TestRunWritesGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole benchmark grid")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_t.json")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-trace", "ld", "-benchtime", "1x", "-large-refs", "3000", "-o", out}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), out) {
+		t.Errorf("stdout %q does not name the output file", stdout.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	hot, stream := 0, 0
+	for _, r := range doc.Results {
+		if r.Mode == "stream" {
+			stream++
+			if r.BytesPerRef <= 0 {
+				t.Errorf("stream point %s/%d has bytes/ref %g", r.Policy, r.Disks, r.BytesPerRef)
+			}
+		} else {
+			hot++
+		}
+		if r.RefsPerSec <= 0 {
+			t.Errorf("point %s/%d/%s has refs/sec %g", r.Policy, r.Disks, r.Mode, r.RefsPerSec)
+		}
+	}
+	if want := len(gridAlgs) * len(gridDisks); hot != want {
+		t.Errorf("hot-path points = %d, want %d", hot, want)
+	}
+	if want := len(gridAlgs) * len(streamDisks); stream != want {
+		t.Errorf("stream points = %d, want %d", stream, want)
+	}
+	if doc.LargeRefs != 3000 || doc.LargeTrace == "" {
+		t.Errorf("streaming workload metadata = %q/%d", doc.LargeTrace, doc.LargeRefs)
+	}
+
+	// Second run against the first as baseline: every point must gain a
+	// speedup figure.
+	out2 := filepath.Join(dir, "BENCH_t2.json")
+	stdout.Reset()
+	stderr.Reset()
+	args = []string{"-trace", "ld", "-benchtime", "1x", "-large-refs", "3000", "-baseline", out, "-o", out2}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("baseline run: %v\nstderr: %s", err, stderr.String())
+	}
+	raw, err = os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 benchFile
+	if err := json.Unmarshal(raw, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Baseline != out {
+		t.Errorf("baseline recorded as %q", doc2.Baseline)
+	}
+	for _, r := range doc2.Results {
+		if r.Speedup <= 0 {
+			t.Errorf("point %s/%d/%s missing speedup", r.Policy, r.Disks, r.Mode)
+		}
+	}
+}
+
+// TestRunErrors pins the error paths: unknown trace, bad flags, and a
+// missing baseline file.
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trace", "nosuch", "-large-refs", "0"}, &stdout, &stderr); err == nil {
+		t.Error("unknown trace accepted")
+	}
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-trace", "ld", "-baseline", "/nonexistent.json"}, &stdout, &stderr); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}

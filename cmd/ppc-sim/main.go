@@ -6,6 +6,8 @@
 //	ppc-sim -trace postgres-select -alg forestall -disks 4
 //	ppc-sim -trace synth -alg aggressive -disks 3 -batch 40 -sched fcfs
 //	ppc-sim -trace cscope1 -alg forestall -disks 2 -events trace.json -series series.csv
+//	ppc-sim -large 1e7:65536:zipf:1 -window 1000 -alg forestall -disks 4
+//	ppc-sim -trace-file big.col -stream -window 1000 -alg aggressive
 //
 // Exit status: 0 on success, 2 for an invalid configuration (unknown
 // trace or algorithm, non-positive -disks or -cache, and anything else
@@ -18,9 +20,41 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"ppcsim"
 )
+
+// parseLargeSpec parses the -large flag: refs[:blocks[:pattern[:seed]]].
+// The reference count accepts scientific notation (1e9) since that is
+// how trace lengths are naturally spoken of.
+func parseLargeSpec(s string) (ppcsim.LargeTraceSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) > 4 {
+		return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: want refs[:blocks[:pattern[:seed]]]", s)
+	}
+	refs, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || refs < 1 || refs != float64(int64(refs)) { //ppcvet:ignore exact integrality check on a parsed count, not simulation time
+		return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: bad reference count %q", s, parts[0])
+	}
+	spec := ppcsim.LargeTraceSpec{Refs: int64(refs), Blocks: 65536}
+	if len(parts) > 1 {
+		if spec.Blocks, err = strconv.Atoi(parts[1]); err != nil {
+			return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: bad block count %q", s, parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		spec.Pattern = parts[2]
+	}
+	if len(parts) > 3 {
+		if spec.Seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+			return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: bad seed %q", s, parts[3])
+		}
+	}
+	return spec, nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -33,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		traceName = fs.String("trace", "synth", "trace name (see ppc-traces for the list)")
+		traceFile = fs.String("trace-file", "", "columnar trace file to run instead of a bundled trace (see ppc-traces convert)")
+		largeSpec = fs.String("large", "", "stream a synthetic trace refs[:blocks[:pattern[:seed]]] (pattern: loop or zipf), e.g. 1e7:65536:zipf:1; requires -window")
+		stream    = fs.Bool("stream", false, "run through the streaming engine (bounded memory; requires -window; implied by -large)")
 		alg       = fs.String("alg", "forestall", "algorithm: demand, fixed-horizon, aggressive, reverse-aggressive, forestall")
 		disks     = fs.Int("disks", 1, "number of disks in the array")
 		cacheBlk  = fs.Int("cache", 0, "cache size in 8K blocks (0 = trace default)")
@@ -85,18 +122,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// The library's HintSpec uses Window 0 for "unlimited" and -1 for "no
 	// lookahead"; at the CLI, absent means unlimited and anything explicit
-	// must be a positive reference count.
-	if explicit["window"] && *window <= 0 {
+	// must be a positive reference count or -1 for no lookahead.
+	if explicit["window"] && (*window == 0 || *window < -1) {
 		return fail(&ppcsim.ConfigError{Field: "Window",
-			Reason: fmt.Sprintf("must be positive, got %d (omit the flag for unlimited lookahead)", *window)})
+			Reason: fmt.Sprintf("must be positive or -1 for no lookahead, got %d (omit the flag for unlimited lookahead)", *window)})
+	}
+	if *largeSpec != "" && *traceFile != "" {
+		return fail(&ppcsim.ConfigError{Field: "Trace", Reason: "-large and -trace-file are mutually exclusive"})
+	}
+	if (*largeSpec != "" || *traceFile != "") && explicit["trace"] {
+		return fail(&ppcsim.ConfigError{Field: "Trace", Reason: "-trace cannot be combined with -large or -trace-file"})
 	}
 
-	tr, err := ppcsim.NewTrace(*traceName)
-	if err != nil {
-		return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
+	// Resolve the workload: a streaming source (-large, or -stream over a
+	// file/bundled trace) or a materialized trace.
+	var tr *ppcsim.Trace
+	var src ppcsim.TraceSource
+	var totalRefs int64
+	switch {
+	case *largeSpec != "":
+		spec, err := parseLargeSpec(*largeSpec)
+		if err != nil {
+			return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
+		}
+		s, err := spec.Source()
+		if err != nil {
+			return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
+		}
+		src = s
+	case *traceFile != "":
+		f, err := ppcsim.OpenColumnarTrace(*traceFile)
+		if err != nil {
+			return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
+		}
+		defer f.Close()
+		if *stream {
+			src = f
+		} else if tr, err = ppcsim.MaterializeTrace(f); err != nil {
+			return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
+		}
+	default:
+		var err error
+		if tr, err = ppcsim.NewTrace(*traceName); err != nil {
+			return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
+		}
+		if *stream {
+			src = tr.Source()
+			tr = nil
+		}
 	}
-	if *cpuScale != 1 { //ppcvet:ignore flag-default sentinel, parsed rather than computed
-		tr = tr.ScaleCompute(*cpuScale)
+	if src != nil {
+		if *cpuScale != 1 { //ppcvet:ignore flag-default sentinel, parsed rather than computed
+			return fail(&ppcsim.ConfigError{Field: "CPUScale", Reason: "-cpu-scale requires a materialized trace"})
+		}
+		totalRefs = src.Meta().Refs
+	} else {
+		if *cpuScale != 1 { //ppcvet:ignore flag-default sentinel, parsed rather than computed
+			tr = tr.ScaleCompute(*cpuScale)
+		}
+		totalRefs = int64(len(tr.Refs))
 	}
 	algorithm, err := ppcsim.ParseAlgorithm(*alg)
 	if err != nil {
@@ -108,6 +192,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts := ppcsim.Options{
 		Trace:            tr,
+		Source:           src,
 		Algorithm:        algorithm,
 		Disks:            *disks,
 		CacheBlocks:      *cacheBlk,
@@ -120,7 +205,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SimpleDiskModel:  *simple,
 		PlacementSeed:    *seed,
 	}
-	if *window > 0 || *hintFrac != 1 || *hintAcc != 1 { //ppcvet:ignore flag-default sentinels, parsed rather than computed
+	if *window != 0 || *hintFrac != 1 || *hintAcc != 1 { //ppcvet:ignore flag-default sentinels, parsed rather than computed
 		opts.Hints = &ppcsim.HintSpec{
 			Fraction: *hintFrac,
 			Accuracy: *hintAcc,
@@ -160,10 +245,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Observer = ppcsim.Tee(tracer, recorder, stats)
 	}
 
+	start := time.Now() //ppcvet:ignore wall-clock throughput report (refs/sec), not simulation time
 	res, err := ppcsim.Run(opts)
 	if err != nil {
 		return fail(err)
 	}
+	wall := time.Since(start) //ppcvet:ignore wall-clock throughput report (refs/sec), not simulation time
 	fmt.Fprintln(stdout, res)
 	fmt.Fprintf(stdout, "  fetches:            %d\n", res.Fetches)
 	fmt.Fprintf(stdout, "  elapsed time (sec): %.3f\n", res.ElapsedSec)
@@ -173,6 +260,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  avg fetch (msec):   %.3f\n", res.AvgFetchMs)
 	fmt.Fprintf(stdout, "  avg response (ms):  %.3f\n", res.AvgResponseMs)
 	fmt.Fprintf(stdout, "  avg disk util:      %.2f\n", res.AvgUtilization)
+	if secs := wall.Seconds(); secs > 0 {
+		fmt.Fprintf(stdout, "  refs/sec (wall):    %.0f\n", float64(totalRefs)/secs)
+	}
 	if res.Latency != nil {
 		l := res.Latency
 		fmt.Fprintf(stdout, "  fetch latency (ms): p50 %.3f  p95 %.3f  p99 %.3f  (n=%d)\n",

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ppcsim"
 )
 
 // TestBoundaryExitCodes is the CLI half of the boundary-validation
@@ -69,6 +73,112 @@ func TestRunWindowedSucceeds(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "elapsed time (sec):") {
 		t.Errorf("output missing metrics:\n%s", stdout.String())
+	}
+}
+
+// TestRunStreaming covers the streaming flags: -stream must reproduce
+// the materialized run's metrics exactly (only the wall-clock refs/sec
+// line may differ), -large must stream a synthetic trace, and the
+// streaming-specific misconfigurations must exit 2.
+func TestRunStreaming(t *testing.T) {
+	strip := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.Contains(line, "refs/sec") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+
+	var mat, str, stderr bytes.Buffer
+	if code := run([]string{"-trace", "ld", "-alg", "aggressive", "-disks", "2", "-window", "128"}, &mat, &stderr); code != 0 {
+		t.Fatalf("materialized exit %d\nstderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-trace", "ld", "-alg", "aggressive", "-disks", "2", "-window", "128", "-stream"}, &str, &stderr); code != 0 {
+		t.Fatalf("streamed exit %d\nstderr: %s", code, stderr.String())
+	}
+	if strip(mat.String()) != strip(str.String()) {
+		t.Errorf("streamed metrics differ from materialized:\n--- materialized\n%s\n--- streamed\n%s", mat.String(), str.String())
+	}
+
+	var out bytes.Buffer
+	stderr.Reset()
+	if code := run([]string{"-large", "20000:512:zipf:1", "-window", "100", "-alg", "forestall", "-disks", "2"}, &out, &stderr); code != 0 {
+		t.Fatalf("-large exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(out.String(), "refs/sec") {
+		t.Errorf("-large output missing refs/sec:\n%s", out.String())
+	}
+
+	out.Reset()
+	stderr.Reset()
+	if code := run([]string{"-trace", "ld", "-alg", "demand", "-window", "-1", "-stream"}, &out, &stderr); code != 0 {
+		t.Fatalf("-window -1 -stream exit %d\nstderr: %s", code, stderr.String())
+	}
+
+	for _, c := range []struct {
+		name   string
+		args   []string
+		stderr string
+	}{
+		{"stream without window", []string{"-trace", "ld", "-alg", "demand", "-stream"}, "Hints"},
+		{"large without window", []string{"-large", "1000:64", "-alg", "demand"}, "Hints"},
+		{"bad large spec", []string{"-large", "zipf", "-window", "16"}, "Trace"},
+		{"large plus trace", []string{"-trace", "ld", "-large", "1000:64", "-window", "16"}, "Trace"},
+		{"large plus trace-file", []string{"-large", "1000:64", "-trace-file", "x.col", "-window", "16"}, "Trace"},
+		{"streaming reverse-aggressive", []string{"-large", "1000:64", "-alg", "reverse-aggressive", "-window", "16"}, "Algorithm"},
+		{"missing trace-file", []string{"-trace-file", "/nonexistent.col", "-stream", "-window", "16"}, "Trace"},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.stderr) {
+				t.Errorf("stderr %q does not name %q", stderr.String(), c.stderr)
+			}
+		})
+	}
+}
+
+// TestRunTraceFile runs a columnar file through both the materialized
+// and streamed paths; the metrics must match exactly.
+func TestRunTraceFile(t *testing.T) {
+	tr, err := ppcsim.NewTrace("ld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ld.col")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ppcsim.WriteColumnarTrace(f, tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	strip := func(out string) string {
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.Contains(line, "refs/sec") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	var mat, str, stderr bytes.Buffer
+	if code := run([]string{"-trace-file", path, "-alg", "forestall", "-disks", "2", "-window", "64"}, &mat, &stderr); code != 0 {
+		t.Fatalf("materialized exit %d\nstderr: %s", code, stderr.String())
+	}
+	if code := run([]string{"-trace-file", path, "-stream", "-alg", "forestall", "-disks", "2", "-window", "64"}, &str, &stderr); code != 0 {
+		t.Fatalf("streamed exit %d\nstderr: %s", code, stderr.String())
+	}
+	if strip(mat.String()) != strip(str.String()) {
+		t.Errorf("streamed -trace-file metrics differ:\n--- materialized\n%s\n--- streamed\n%s", mat.String(), str.String())
 	}
 }
 

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConvertRoundTrip: bundled -> columnar -> text must reproduce the
+// exact text dump of the bundled trace, and inspect must read the
+// columnar header without decoding frames.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	col := filepath.Join(dir, "ld.col")
+	txt := filepath.Join(dir, "ld.trace")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"convert", "-trace", "ld", "-o", col}, &stdout, &stderr); code != 0 {
+		t.Fatalf("convert bundled exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "bytes/ref") {
+		t.Errorf("convert output missing bytes/ref: %s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"convert", "-o", txt, col}, &stdout, &stderr); code != 0 {
+		t.Fatalf("convert columnar->text exit %d\nstderr: %s", code, stderr.String())
+	}
+
+	var want bytes.Buffer
+	if code := run([]string{"-dump", "ld"}, &want, &stderr); code != 0 {
+		t.Fatalf("dump exit %d\nstderr: %s", code, stderr.String())
+	}
+	got, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("columnar round-trip does not reproduce the text dump")
+	}
+
+	stdout.Reset()
+	if code := run([]string{"inspect", col}, &stdout, &stderr); code != 0 {
+		t.Fatalf("inspect exit %d\nstderr: %s", code, stderr.String())
+	}
+	for _, field := range []string{"name:", "references:", "frames:", "bytes/ref"} {
+		if !strings.Contains(stdout.String(), field) {
+			t.Errorf("inspect output missing %q:\n%s", field, stdout.String())
+		}
+	}
+}
+
+// TestGenWritesStreamable: gen must produce a columnar file whose header
+// matches the spec, usable by inspect.
+func TestGenWritesStreamable(t *testing.T) {
+	dir := t.TempDir()
+	col := filepath.Join(dir, "big.col")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"gen", "-refs", "5e4", "-blocks", "512", "-pattern", "zipf", "-seed", "3", "-o", col}, &stdout, &stderr); code != 0 {
+		t.Fatalf("gen exit %d\nstderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"inspect", col}, &stdout, &stderr); code != 0 {
+		t.Fatalf("inspect exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "references:   50000") || !strings.Contains(out, "large-zipf-50000") {
+		t.Errorf("inspect disagrees with the gen spec:\n%s", out)
+	}
+}
+
+// TestSubcommandErrors pins the usage-error exits.
+func TestSubcommandErrors(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		args []string
+	}{
+		{"convert without output", []string{"convert", "in.trace"}},
+		{"convert without input", []string{"convert", "-o", "out.col"}},
+		{"convert trace plus file", []string{"convert", "-trace", "ld", "-o", "x", "in.trace"}},
+		{"inspect without file", []string{"inspect"}},
+		{"gen without output", []string{"gen"}},
+		{"gen bad refs", []string{"gen", "-refs", "none", "-o", "x.col"}},
+		{"gen bad pattern", []string{"gen", "-refs", "10", "-pattern", "bogus", "-o", "x.col"}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2\nstderr: %s", code, stderr.String())
+			}
+		})
+	}
+}
+
+// TestSummaryAndDump covers the legacy flag surface: the Table 3
+// summary must list every bundled trace, and -dump must write the text
+// form both to stdout and to a file.
+func TestSummaryAndDump(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("summary exit %d\nstderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"ld", "synth"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("summary missing trace %q:\n%s", name, stdout.String())
+		}
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-dump", "ld"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dump exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "ppctrace ") {
+		t.Errorf("dump output is not a text trace:\n%.80s", stdout.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "ld.trace")
+	var fileOut bytes.Buffer
+	if code := run([]string{"-dump", "ld", "-o", path}, &fileOut, &stderr); code != 0 {
+		t.Fatalf("dump -o exit %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != stdout.String() {
+		t.Error("-o file differs from the stdout dump")
+	}
+
+	if code := run([]string{"-dump", "nosuch"}, &stdout, &stderr); code != 1 {
+		t.Errorf("dump of unknown trace exited %d, want 1", code)
+	}
+}
+
+// TestRuntimeErrors pins the exit-1 failures: unreadable inputs, inputs
+// of the wrong format, and unknown bundled traces.
+func TestRuntimeErrors(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "t.trace")
+	if err := os.WriteFile(text, []byte("ppctrace x true 4\nfile 4\nr 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(dir, "bad.col")
+	if err := os.WriteFile(garbage, []byte("ppccolv1 but truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		args []string
+	}{
+		{"convert missing input", []string{"convert", "-o", filepath.Join(dir, "x.col"), filepath.Join(dir, "nosuch.trace")}},
+		{"convert unknown bundled", []string{"convert", "-trace", "nosuch", "-o", filepath.Join(dir, "x.col")}},
+		{"convert corrupt columnar", []string{"convert", "-o", filepath.Join(dir, "x.trace"), garbage}},
+		{"convert unwritable output", []string{"convert", "-o", filepath.Join(dir, "nodir", "x.col"), text}},
+		{"inspect missing file", []string{"inspect", filepath.Join(dir, "nosuch.col")}},
+		{"inspect text file", []string{"inspect", text}},
+		{"gen unwritable output", []string{"gen", "-refs", "10", "-o", filepath.Join(dir, "nodir", "x.col")}},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(c.args, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit %d, want 1\nstderr: %s", code, stderr.String())
+			}
+		})
+	}
+}

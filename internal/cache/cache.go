@@ -37,6 +37,13 @@ type Cache struct {
 
 	h evictHeap
 
+	// neverEpoch records, per block, the oracle's consumed-occurrence
+	// count at the time of the block's most recent Never-keyed heap push.
+	// A Never key carries no position to go stale against, so this epoch
+	// stands in: the entry is alive only while no occurrence of the block
+	// has been consumed since the push. See FurthestEvictable.
+	neverEpoch []int32
+
 	// Partial-knowledge mode (EnableWindow): the replacement rule may use
 	// next-use positions only inside the lookahead window
 	// [cursor, cursor+window); for present blocks whose next use lies at
@@ -69,9 +76,10 @@ func New(capacity, nBlocks int, o *future.Oracle) (*Cache, error) {
 		return nil, fmt.Errorf("cache: capacity must be positive, got %d", capacity)
 	}
 	return &Cache{
-		capacity: capacity,
-		oracle:   o,
-		st:       make([]state, nBlocks),
+		capacity:   capacity,
+		oracle:     o,
+		st:         make([]state, nBlocks),
+		neverEpoch: make([]int32, nBlocks),
 	}, nil
 }
 
@@ -185,7 +193,7 @@ func (c *Cache) CompleteFetch(b layout.BlockID) {
 		panic(fmt.Sprintf("cache: completing fetch of block %d in state %d", b, c.st[b]))
 	}
 	c.st[b] = present
-	c.h.push(entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+	c.pushEvict(b)
 	c.noteUse(b)
 }
 
@@ -208,9 +216,20 @@ func (c *Cache) Drop(b layout.BlockID) error {
 // block b, so the eviction heap learns b's new next-use position.
 func (c *Cache) Touched(b layout.BlockID) {
 	if c.st[b] == present {
-		c.h.push(entry{block: b, nextUse: int32(c.oracle.NextUse(b))})
+		c.pushEvict(b)
 		c.noteUse(b)
 	}
+}
+
+// pushEvict records a fresh eviction-heap entry for present block b keyed
+// by its current next use, stamping the block's consumed-occurrence epoch
+// when the key is Never.
+func (c *Cache) pushEvict(b layout.BlockID) {
+	u := c.oracle.NextUse(b)
+	if u == future.Never {
+		c.neverEpoch[b] = int32(c.oracle.Consumed(b))
+	}
+	c.h.push(entry{block: b, nextUse: int32(u)})
 }
 
 // FurthestEvictable returns the present block whose next reference is
@@ -227,8 +246,34 @@ func (c *Cache) Touched(b layout.BlockID) {
 func (c *Cache) FurthestEvictable() (layout.BlockID, int) {
 	for len(c.h) > 0 {
 		top := c.h[0]
-		if c.st[top.block] != present || int(top.nextUse) != c.oracle.NextUse(top.block) {
+		u := c.oracle.NextUse(top.block)
+		fresh := c.st[top.block] == present && int(top.nextUse) == u
+		if fresh && u == future.Never &&
+			c.neverEpoch[top.block] != int32(c.oracle.Consumed(top.block)) {
+			// The key still reads Never but an occurrence of the block was
+			// consumed since it was recorded: under a streaming oracle the
+			// answer moved Never -> finite -> Never as the disclosure
+			// window slid over a use the process never touched, while a
+			// materialized oracle's exact key would have died at the first
+			// move. Treat the entry as dead so both modes agree.
+			// Materialized mode never takes this branch — a Never answer
+			// is final there, so the epoch cannot have changed.
+			fresh = false
+		}
+		if !fresh {
 			c.h.pop()
+			// A live streaming oracle's answer can move from Never to a
+			// finite position as the disclosure window slides forward over
+			// a block's next use. Re-key such entries (epoch unchanged, so
+			// the recorded Never is merely outdated, not dead) instead of
+			// dropping them, or the block would vanish from eviction's
+			// view even though a materialized oracle (whose answers only
+			// ever grow) still sees it. Materialized mode never takes this
+			// branch.
+			if c.st[top.block] == present && int(top.nextUse) == future.Never && u != future.Never &&
+				c.neverEpoch[top.block] == int32(c.oracle.Consumed(top.block)) {
+				c.h.push(entry{block: top.block, nextUse: int32(u)})
+			}
 			continue
 		}
 		if c.windowed {

@@ -14,6 +14,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -42,7 +43,14 @@ type Policy interface {
 
 // Config describes one simulation run.
 type Config struct {
-	Trace            *trace.Trace
+	Trace *trace.Trace
+	// Source, when set instead of Trace, streams the reference sequence:
+	// the engine keeps only a bounded ring of upcoming references
+	// resident, so traces of 10^9 references run in constant memory.
+	// Streaming runs require Hints with a bounded Window (the resident
+	// ring is sized from it) and reject policies that declare
+	// RequiresFullTrace. Trace and Source are mutually exclusive.
+	Source           trace.Source
 	Policy           Policy
 	Disks            int
 	CacheBlocks      int               // 0 → trace default
@@ -120,39 +128,64 @@ func (h *HintSpec) Validate() error {
 	return nil
 }
 
+// hintNoiser draws the disclosure/corruption noise of a HintSpec one
+// reference at a time. The noise is a pure function of (Seed, Fraction,
+// Accuracy) and the trace position — Window deliberately plays no part,
+// so sliding the lookahead horizon changes when a hint becomes visible
+// but never re-rolls whether it is disclosed or corrupted; and because
+// the draws happen in trace order, a streaming run consumes the exact
+// same sequence a materialized run does.
+type hintNoiser struct {
+	rng     *rand.Rand
+	h       *HintSpec
+	phantom layout.BlockID
+	nBlocks int
+}
+
+func newHintNoiser(h *HintSpec, phantom layout.BlockID, nBlocks int) *hintNoiser {
+	return &hintNoiser{
+		rng:     rand.New(rand.NewSource(h.Seed ^ 0x70636873)), // "pchs"
+		h:       h,
+		phantom: phantom,
+		nBlocks: nBlocks,
+	}
+}
+
+// draw returns the disclosed block for the next non-write reference whose
+// true block is b. Write positions must not be drawn for (they are always
+// disclosed as phantom without consuming randomness).
+func (nz *hintNoiser) draw(b layout.BlockID) layout.BlockID {
+	switch {
+	case nz.rng.Float64() >= nz.h.Fraction:
+		return nz.phantom
+	case nz.rng.Float64() >= nz.h.Accuracy:
+		// An inaccurate hint must name a wrong block: draw from the
+		// other nBlocks-1 blocks and shift past the true one (a plain
+		// Intn(nBlocks) would be correct by accident 1/nBlocks of the
+		// time, skewing the realized accuracy).
+		if nz.nBlocks > 1 {
+			w := nz.rng.Intn(nz.nBlocks - 1)
+			if w >= int(b) {
+				w++
+			}
+			return layout.BlockID(w)
+		}
+		return nz.phantom
+	default:
+		return b
+	}
+}
+
 // applyHintNoise overwrites disclosed with the hint stream the policy
 // sees: undisclosed positions become phantom, inaccurate ones a wrong
-// block. The noise is a pure function of (Seed, Fraction, Accuracy) and
-// the trace position, drawn once for the whole trace before the run —
-// Window deliberately plays no part, so sliding the lookahead horizon
-// changes when a hint becomes visible but never re-rolls whether it is
-// disclosed or corrupted.
+// block.
 func applyHintNoise(disclosed, refs []layout.BlockID, isWrite []bool, phantom layout.BlockID, nBlocks int, h *HintSpec) {
-	rng := rand.New(rand.NewSource(h.Seed ^ 0x70636873)) // "pchs"
+	nz := newHintNoiser(h, phantom, nBlocks)
 	for i, b := range refs {
 		if isWrite[i] {
 			continue
 		}
-		switch {
-		case rng.Float64() >= h.Fraction:
-			disclosed[i] = phantom
-		case rng.Float64() >= h.Accuracy:
-			// An inaccurate hint must name a wrong block: draw from the
-			// other nBlocks-1 blocks and shift past the true one (a plain
-			// Intn(nBlocks) would be correct by accident 1/nBlocks of the
-			// time, skewing the realized accuracy).
-			if nBlocks > 1 {
-				w := rng.Intn(nBlocks - 1)
-				if w >= int(b) {
-					w++
-				}
-				disclosed[i] = layout.BlockID(w)
-			} else {
-				disclosed[i] = phantom
-			}
-		default:
-			disclosed[i] = b
-		}
+		disclosed[i] = nz.draw(b)
 	}
 }
 
@@ -230,6 +263,12 @@ func (r Result) String() string {
 // inaccurate positions name the wrong block). Without hints it is the
 // true sequence. The Oracle answers next-use queries over the disclosed
 // sequence — that is exactly the knowledge the application shared.
+//
+// Policies must index the sequence through Ref, not Refs directly: in a
+// streaming run (Config.Source) the reference columns are rings holding
+// only a bounded window of positions around the cursor, and Ref masks
+// the position into its ring slot. In a materialized run the mask is -1,
+// so Ref(i) reads Refs[i] with zero overhead.
 type State struct {
 	Refs   []layout.BlockID
 	Layout *layout.Layout
@@ -240,6 +279,30 @@ type State struct {
 	trueRefs []layout.BlockID
 	isWrite  []bool
 	writes   int64
+
+	// Streaming state. src is nil for materialized runs. The reference
+	// columns (Refs, trueRefs, isWrite, compute) are rings of a
+	// power-of-two capacity; mask folds a position into its slot
+	// (mask = -1, a no-op, when materialized). filled counts the
+	// references pulled from the source so far; ahead is how far past
+	// the cursor fill keeps the window primed; n is the total trace
+	// length in both modes.
+	src     trace.Source
+	srcBuf  []trace.Ref
+	srcI    int
+	srcN    int
+	mask    int
+	n       int
+	filled  int
+	ahead   int
+	phantom layout.BlockID
+	noiser  *hintNoiser
+	// dwin is the sliding per-disk index a streaming run maintains in
+	// place of the lazily built materialized one (both are served
+	// through DiskIndex()).
+	dwin         *future.DiskIndex
+	totalCompute float64
+	traceName    string
 
 	compute []float64
 	now     float64
@@ -312,7 +375,20 @@ func (s *State) Now() float64 { return s.now }
 func (s *State) Cursor() int { return s.Oracle.Cursor() }
 
 // Len returns the trace length.
-func (s *State) Len() int { return len(s.Refs) }
+func (s *State) Len() int { return s.n }
+
+// Ref returns the disclosed block at position i. In a streaming run only
+// a bounded window of positions is resident; policies stay inside it by
+// construction (they scan at most WindowLimit positions ahead, and the
+// engine fills strictly past that horizon).
+func (s *State) Ref(i int) layout.BlockID { return s.Refs[i&s.mask] }
+
+// trueRef returns the block actually referenced at position i (ring slot
+// in streaming runs).
+func (s *State) trueRef(i int) layout.BlockID { return s.trueRefs[i&s.mask] }
+
+// writeAt reports whether position i is a write-behind update.
+func (s *State) writeAt(i int) bool { return s.isWrite[i&s.mask] }
 
 // DiskOf returns the disk holding block b.
 func (s *State) DiskOf(b layout.BlockID) int { return s.Layout.Lookup(b).Disk }
@@ -400,7 +476,7 @@ func (s *State) recycleRequest(r *disk.Request) {
 }
 
 // ComputeMs returns the inter-reference CPU time that precedes reference i.
-func (s *State) ComputeMs(i int) float64 { return s.compute[i] }
+func (s *State) ComputeMs(i int) float64 { return s.compute[i&s.mask] }
 
 // Windowed reports whether the run limits lookahead (Window != 0).
 func (s *State) Windowed() bool { return s.window != 0 }
@@ -448,7 +524,29 @@ func (s *State) Observed(i int) layout.BlockID {
 	if i >= s.Oracle.Cursor() {
 		panic(fmt.Sprintf("engine: Observed(%d) is in the future (cursor %d)", i, s.Oracle.Cursor()))
 	}
-	return s.trueRefs[i]
+	if s.src != nil && i < s.filled-len(s.trueRefs) {
+		panic(fmt.Sprintf("engine: Observed(%d) is outside the retained streaming window (oldest %d)",
+			i, s.filled-len(s.trueRefs)))
+	}
+	return s.trueRefs[i&s.mask]
+}
+
+// NextUseVisible returns b's next disclosed use as the policy is allowed
+// to see it: clamped to the lookahead window in windowed runs (Never
+// beyond the horizon), the raw next use otherwise. Policies consulting
+// next-use positions outside their bounded scan loops (e.g. forestall's
+// eviction bookkeeping) must use this instead of Oracle.NextUse, or a
+// windowed materialized run would act on future knowledge a streaming
+// run cannot even hold.
+func (s *State) NextUseVisible(b layout.BlockID) int {
+	if s.window == 0 {
+		return s.Oracle.NextUse(b)
+	}
+	w := s.window
+	if w < 0 {
+		w = 0
+	}
+	return s.Oracle.NextUseWithin(b, w)
 }
 
 // Fetches returns the number of fetches issued so far.
@@ -535,6 +633,12 @@ func emitBatches(s *State, onStall bool) {
 
 // Run executes the configured simulation to completion.
 func Run(cfg Config) (Result, error) {
+	if cfg.Source != nil {
+		if cfg.Trace != nil {
+			return Result{}, fmt.Errorf("engine: Trace and Source are mutually exclusive")
+		}
+		return runStreaming(cfg)
+	}
 	if cfg.Trace == nil {
 		return Result{}, fmt.Errorf("engine: nil trace")
 	}
@@ -653,7 +757,21 @@ func Run(cfg Config) (Result, error) {
 		inFlightDisk: make([]int32, blockSpace),
 		obs:          cfg.Observer,
 		window:       window,
+		mask:         -1,
+		n:            len(refs),
+		traceName:    cfg.Trace.Name,
 	}
+	for _, ct := range compute {
+		s.totalCompute += ct
+	}
+	wireRun(s, cfg)
+	return runLoop(s, cfg)
+}
+
+// wireRun finishes State setup shared by materialized and streaming
+// runs: the busy-end mirror and, for observed runs, the per-drive and
+// cache event plumbing.
+func wireRun(s *State, cfg Config) {
 	s.busyEnds = make([]float64, cfg.Disks)
 	for i := range s.busyEnds {
 		s.busyEnds[i] = math.Inf(1)
@@ -663,7 +781,7 @@ func Run(cfg Config) (Result, error) {
 	if s.obs != nil {
 		s.batchIssued = make([]int, cfg.Disks)
 		s.breakdowns = make(map[*disk.Request]disk.Breakdown)
-		for i, d := range drives {
+		for i, d := range s.Drives {
 			i := i
 			d.EnableBreakdown()
 			d.OnStart = func(r *disk.Request, b disk.Breakdown, at float64) {
@@ -683,7 +801,19 @@ func Run(cfg Config) (Result, error) {
 				})
 			}
 		}
-		c.OnEvict = func(victim, replacement layout.BlockID, nextUse int) {
+		s.Cache.OnEvict = func(victim, replacement layout.BlockID, nextUse int) {
+			// Clamp the reported distance to the lookahead window: the event
+			// stream must not disclose next uses the run itself cannot see
+			// (and a streaming run does not even hold them).
+			if s.window != 0 && nextUse != future.Never {
+				w := s.window
+				if w < 0 {
+					w = 0
+				}
+				if nextUse >= s.Oracle.Cursor()+w {
+					nextUse = future.Never
+				}
+			}
 			dist := -1
 			if nextUse != future.Never {
 				dist = nextUse - s.Oracle.Cursor()
@@ -696,6 +826,12 @@ func Run(cfg Config) (Result, error) {
 			})
 		}
 	}
+}
+
+// runLoop drives the event loop to completion and assembles the Result.
+// The State must be fully wired; streaming runs must have primed the
+// reference window with fill(0) already.
+func runLoop(s *State, cfg Config) (Result, error) {
 	// pol is the policy the run loop drives; observed runs interpose the
 	// batch tracker so BatchFormed events bracket each policy invocation.
 	pol := cfg.Policy
@@ -704,15 +840,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	cfg.Policy.Attach(s)
 
-	totalCompute := 0.0
-	for _, ct := range compute {
-		totalCompute += ct
-	}
-
-	n := len(refs)
+	n := s.n
 	if n > 0 {
 		// The process is about to start computing toward reference 0.
-		s.processAt = compute[0]
+		s.processAt = s.ComputeMs(0)
 		pol.Poll()
 		if s.issueErr != nil {
 			return Result{}, s.issueErr
@@ -731,16 +862,23 @@ func Run(cfg Config) (Result, error) {
 			default:
 			}
 		}
+		if s.src != nil {
+			// Keep the streaming window primed past the lookahead horizon
+			// before anything reads the columns at this cursor.
+			if err := s.fill(cursor); err != nil {
+				return Result{}, err
+			}
+		}
 		// Next disk completion, if any (maintained incrementally by
 		// refreshDrive; idle drives never surface).
 		nextDisk, diskAt := s.minBusyIdx, s.minBusyEnd
 
-		b := refs[cursor]
+		b := s.trueRef(cursor)
 
 		if !s.stalled && diskAt >= s.processAt {
 			// The process reaches its reference before any disk event.
 			s.now = s.processAt
-			if isWrite[cursor] {
+			if s.writeAt(cursor) {
 				// Write behind: enqueue the update and continue without
 				// stalling (the paper's motivation for ignoring writes).
 				pl := s.Layout.Lookup(b)
@@ -811,7 +949,7 @@ func Run(cfg Config) (Result, error) {
 
 		// Advance to the disk completion.
 		s.now = diskAt
-		req := drives[nextDisk].Complete(s.now)
+		req := s.Drives[nextDisk].Complete(s.now)
 		s.refreshDrive(nextDisk)
 		if s.obs != nil {
 			emitFetchCompleted(s, req, nextDisk)
@@ -843,7 +981,7 @@ func Run(cfg Config) (Result, error) {
 			s.OnComplete(nextDisk, serviceMs)
 		}
 
-		if s.stalled && fetched == b && !isWrite[cursor] {
+		if s.stalled && fetched == b && !s.writeAt(cursor) {
 			// Stall ends: the process consumes the reference now.
 			s.stalled = false
 			s.afterMiss = true
@@ -879,8 +1017,8 @@ func Run(cfg Config) (Result, error) {
 	}
 	var busy, svc, resp float64
 	var served int64
-	perDisk := make([]DiskResult, len(drives))
-	for i, d := range drives {
+	perDisk := make([]DiskResult, len(s.Drives))
+	for i, d := range s.Drives {
 		// Busy time is credited at service start; a speculative fetch still
 		// in service when the last reference lands (readahead extrapolating
 		// past the end of the trace) would otherwise count service beyond
@@ -907,12 +1045,12 @@ func Run(cfg Config) (Result, error) {
 	// elapsed time: CPU compute + driver overhead + I/O stall. Driver work
 	// performed while the process was stalled overlaps the stall, so the
 	// residual (clamped at zero) is the pure idle component.
-	stallMs := elapsed - totalCompute - s.driverMs
+	stallMs := elapsed - s.totalCompute - s.driverMs
 	if stallMs < 0 {
 		stallMs = 0
 	}
 	res := Result{
-		Trace:         cfg.Trace.Name,
+		Trace:         s.traceName,
 		Policy:        cfg.Policy.Name(),
 		Disks:         cfg.Disks,
 		Discipline:    cfg.Discipline,
@@ -920,9 +1058,9 @@ func Run(cfg Config) (Result, error) {
 		DriverTimeSec: s.driverMs / 1000,
 		StallTimeSec:  stallMs / 1000,
 		ElapsedSec:    elapsed / 1000,
-		ComputeSec:    totalCompute / 1000,
-		CacheHits:     c.Hits(),
-		CacheMisses:   c.Misses(),
+		ComputeSec:    s.totalCompute / 1000,
+		CacheHits:     s.Cache.Hits(),
+		CacheMisses:   s.Cache.Misses(),
 		WriteRequests: s.writes,
 		PerDisk:       perDisk,
 	}
@@ -931,7 +1069,7 @@ func Run(cfg Config) (Result, error) {
 		res.AvgResponseMs = resp / float64(served)
 	}
 	if elapsed > 0 {
-		res.AvgUtilization = busy / elapsed / float64(len(drives))
+		res.AvgUtilization = busy / elapsed / float64(len(s.Drives))
 	}
 	if cfg.Observer != nil {
 		obs.Each(cfg.Observer, func(o obs.Observer) {
@@ -941,6 +1079,187 @@ func Run(cfg Config) (Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// runStreaming executes a run from a streaming trace source, keeping
+// only a bounded ring of references resident. A streamed run is
+// byte-identical to materializing the same source and running it with
+// the same options: the hint noise is drawn in the same order, the
+// policies only ever inspect positions inside their lookahead window
+// (which the engine keeps filled), and eviction beyond the window falls
+// back to the same LRU order in both modes.
+func runStreaming(cfg Config) (Result, error) {
+	src := cfg.Source
+	if cfg.Policy == nil {
+		return Result{}, fmt.Errorf("engine: nil policy")
+	}
+	if _, ok := cfg.Policy.(interface{ RequiresFullTrace() }); ok {
+		return Result{}, fmt.Errorf("engine: policy %s requires the full trace; materialize the source to run it", cfg.Policy.Name())
+	}
+	if cfg.Disks <= 0 {
+		return Result{}, fmt.Errorf("engine: disks must be positive, got %d", cfg.Disks)
+	}
+	m := src.Meta()
+	if err := m.Validate(); err != nil {
+		return Result{}, fmt.Errorf("engine: %w", err)
+	}
+	if err := src.Reset(); err != nil {
+		return Result{}, fmt.Errorf("engine: source reset: %w", err)
+	}
+	if m.Refs >= int64(future.Never) {
+		return Result{}, fmt.Errorf("engine: trace of %d references exceeds the 2^31-1 position space", m.Refs)
+	}
+	n := int(m.Refs)
+	if cfg.Hints == nil {
+		return Result{}, fmt.Errorf("engine: streaming runs need Hints with a bounded lookahead window")
+	}
+	if err := cfg.Hints.Validate(); err != nil {
+		return Result{}, err
+	}
+	window := cfg.Hints.Window
+	if window == 0 || window >= n {
+		return Result{}, fmt.Errorf("engine: streaming runs need a lookahead window smaller than the trace (window %d, %d refs); materialize the trace for unlimited lookahead", window, n)
+	}
+	cacheBlocks := cfg.CacheBlocks
+	if cacheBlocks == 0 {
+		cacheBlocks = m.CacheBlocks
+	}
+	if cacheBlocks <= 1 {
+		return Result{}, fmt.Errorf("engine: cache of %d blocks is too small", cacheBlocks)
+	}
+	overhead := cfg.DriverOverheadMs
+	switch {
+	case overhead == 0: //ppcvet:ignore unset-config sentinel, assigned by the caller rather than computed
+		overhead = DefaultDriverOverheadMs
+	case overhead < 0:
+		overhead = 0
+	}
+	model := cfg.Model
+	if model == nil {
+		model = func() disk.Model { return disk.NewHP97560() }
+	}
+	lay, err := m.Layout(cfg.Disks, cfg.PlacementSeed)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: %w", err)
+	}
+	nBlocks := m.NumBlocks()
+	// Hints are mandatory here, so the phantom block always exists (as it
+	// does in the materialized hinted run this one must match).
+	blockSpace := nBlocks + 1
+	phantom := layout.BlockID(nBlocks)
+
+	// The ring must hold the policies' whole lookahead ([cursor,
+	// cursor+W)), the compute time of the reference after the one being
+	// served, and a margin of already-consumed positions for the recency
+	// policies' Observed back-reads (they lag the cursor by a handful of
+	// references at most; 64 is comfortable).
+	w := window
+	if w < 0 {
+		w = 0
+	}
+	ahead := w + 2
+	ringCap := nextPow2(ahead + 64)
+	oracle := future.NewStreaming(blockSpace, ringCap)
+	c, err := cache.New(cacheBlocks, blockSpace, oracle)
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: %w", err)
+	}
+	c.MarkAlwaysPresent(phantom)
+	c.EnableWindow(window)
+	drives := make([]*disk.Drive, cfg.Disks)
+	for i := range drives {
+		drives[i] = disk.NewDrive(model(), cfg.Discipline)
+	}
+
+	s := &State{
+		Refs:         make([]layout.BlockID, ringCap),
+		trueRefs:     make([]layout.BlockID, ringCap),
+		isWrite:      make([]bool, ringCap),
+		compute:      make([]float64, ringCap),
+		Layout:       lay,
+		Oracle:       oracle,
+		Cache:        c,
+		Drives:       drives,
+		overhead:     overhead,
+		inFlightDisk: make([]int32, blockSpace),
+		obs:          cfg.Observer,
+		window:       window,
+		src:          src,
+		srcBuf:       make([]trace.Ref, 4096),
+		mask:         ringCap - 1,
+		n:            n,
+		ahead:        ahead,
+		phantom:      phantom,
+		noiser:       newHintNoiser(cfg.Hints, phantom, nBlocks),
+		traceName:    m.Name,
+	}
+	s.dwin = future.NewSlidingDiskIndex(cfg.Disks, ringCap)
+	s.dindex = s.dwin
+	wireRun(s, cfg)
+	if err := s.fill(0); err != nil {
+		return Result{}, err
+	}
+	return runLoop(s, cfg)
+}
+
+// fill pulls references from the source until positions [cursor,
+// cursor+ahead) (clamped to the trace length) are resident, validating
+// each reference and threading its disclosed block into the oracle and
+// the sliding disk index. The total compute accumulates in trace order,
+// so the final sum is bit-identical to a materialized run's.
+func (s *State) fill(cursor int) error {
+	target := cursor + s.ahead
+	if target > s.n {
+		target = s.n
+	}
+	for s.filled < target {
+		if s.srcI == s.srcN {
+			nr, err := s.src.ReadRefs(s.srcBuf)
+			if nr <= 0 {
+				if err == nil || err == io.EOF {
+					return fmt.Errorf("engine: source %q ended at reference %d of %d", s.traceName, s.filled, s.n)
+				}
+				return fmt.Errorf("engine: source %q read: %w", s.traceName, err)
+			}
+			// A non-EOF error alongside refs: consume them; the error
+			// resurfaces on the next read if it persists.
+			s.srcI, s.srcN = 0, nr
+		}
+		r := s.srcBuf[s.srcI]
+		s.srcI++
+		i := s.filled
+		if int(r.Block) < 0 || int(r.Block) >= int(s.phantom) {
+			return fmt.Errorf("engine: source %q ref %d block %d out of range [0,%d)", s.traceName, i, r.Block, s.phantom)
+		}
+		if math.IsNaN(r.ComputeMs) || math.IsInf(r.ComputeMs, 0) || r.ComputeMs < 0 {
+			return fmt.Errorf("engine: source %q ref %d invalid compute %g", s.traceName, i, r.ComputeMs)
+		}
+		slot := i & s.mask
+		s.trueRefs[slot] = r.Block
+		s.compute[slot] = r.ComputeMs
+		s.isWrite[slot] = r.Write
+		d := s.phantom
+		if !r.Write {
+			d = s.noiser.draw(r.Block)
+		}
+		s.Refs[slot] = d
+		s.Oracle.Append(d)
+		if d != s.phantom {
+			s.dwin.Append(i, s.Layout.Lookup(d).Disk)
+		}
+		s.totalCompute += r.ComputeMs
+		s.filled++
+	}
+	return nil
+}
+
+// nextPow2 returns the smallest power of two >= v (and >= 2).
+func nextPow2(v int) int {
+	p := 2
+	for p < v {
+		p <<= 1
+	}
+	return p
 }
 
 // summarize converts a StreamingStats observer into the Result's
@@ -1015,10 +1334,10 @@ func ensureStallFetch(s *State, p Policy, b layout.BlockID, cursor int) error {
 // present), advances the oracle and heap bookkeeping, sets the process's
 // next reference time, and polls the policy.
 func serveReference(s *State, p Policy, cursor *int) {
-	b := s.trueRefs[*cursor]
+	b := s.trueRef(*cursor)
 	hit := !s.afterMiss
 	switch {
-	case s.isWrite[*cursor]:
+	case s.writeAt(*cursor):
 		// Writes bypass the cache.
 	case s.afterMiss:
 		s.Cache.ReferenceMissed(b)
@@ -1026,7 +1345,7 @@ func serveReference(s *State, p Policy, cursor *int) {
 	default:
 		s.Cache.Reference(b)
 	}
-	wasWrite := s.isWrite[*cursor]
+	wasWrite := s.writeAt(*cursor)
 	if s.obs != nil && !wasWrite {
 		s.obs.RefServed(obs.RefEvent{
 			TMs: s.now, Pos: *cursor, Block: int64(b),
@@ -1034,12 +1353,26 @@ func serveReference(s *State, p Policy, cursor *int) {
 		})
 	}
 	*cursor++
-	s.Oracle.Advance(*cursor)
+	s.advanceCursor(*cursor)
 	if !wasWrite {
 		s.Cache.Touched(b)
 	}
-	if *cursor < len(s.trueRefs) {
-		s.processAt = s.now + s.compute[*cursor]
+	if *cursor < s.n {
+		s.processAt = s.now + s.ComputeMs(*cursor)
 	}
 	p.Poll()
+}
+
+// advanceCursor moves the oracle cursor to c, first popping the consumed
+// positions from a streaming run's sliding disk index (their disclosed
+// blocks leave the window as the oracle passes them).
+func (s *State) advanceCursor(c int) {
+	if s.src != nil {
+		for p := s.Oracle.Cursor(); p < c; p++ {
+			if d := s.Refs[p&s.mask]; d != s.phantom {
+				s.dwin.AdvancePast(p, s.Layout.Lookup(d).Disk)
+			}
+		}
+	}
+	s.Oracle.Advance(c)
 }

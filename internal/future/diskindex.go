@@ -9,13 +9,30 @@ import "ppcsim/internal/layout"
 // touches every reference (and a placement lookup per reference) into a
 // walk over the 1/D fraction that can possibly match.
 //
-// The index is immutable after construction: positions are grouped into
-// one CSR-style backing array exactly like the Oracle's next-reference
-// queues. Callers keep their own cursors into the per-disk lists (see
-// Positions and LowerBound).
+// The index has two modes sharing one query API (Scan):
+//
+//   - Materialized (NewDiskIndex): positions are grouped into one
+//     CSR-style backing array exactly like the Oracle's next-reference
+//     queues, immutable after construction.
+//   - Sliding (NewSlidingDiskIndex): the producer Appends positions as
+//     references stream in and pops them with AdvancePast as the cursor
+//     consumes them, keeping at most ringCap positions resident.
+//
+// Both modes answer Scan identically over the positions they hold, which
+// is what makes streamed and materialized runs byte-identical: bounded
+// lookahead policies only ever scan positions inside their window, and
+// the engine keeps the sliding index filled strictly past that horizon.
 type DiskIndex struct {
+	// Materialized mode.
 	pos   []int32 // reference positions grouped by disk, ascending
 	start []int32 // per disk d: its positions are pos[start[d]:start[d+1]]
+	lb    []int32 // per disk: Scan's monotone cursor into pos[start[d]:start[d+1]]
+
+	// Sliding mode.
+	ring []int32 // per slot i&mask: next indexed position on the same disk, or -1
+	mask int
+	head []int32 // per disk: first unconsumed indexed position, or -1
+	tail []int32 // per disk: last appended indexed position, or -1 (stale once head is -1)
 }
 
 // NewDiskIndex builds the index for the given reference sequence.
@@ -23,7 +40,7 @@ type DiskIndex struct {
 // have no placement and can never be missing (the engine's phantom
 // block); such positions are excluded from the index.
 func NewDiskIndex(refs []layout.BlockID, disks int, diskOf func(layout.BlockID) int) *DiskIndex {
-	x := &DiskIndex{start: make([]int32, disks+1)}
+	x := &DiskIndex{start: make([]int32, disks+1), lb: make([]int32, disks)}
 	counts := make([]int32, disks)
 	n := 0
 	for _, b := range refs {
@@ -49,17 +66,103 @@ func NewDiskIndex(refs []layout.BlockID, disks int, diskOf func(layout.BlockID) 
 	return x
 }
 
-// Disks returns the number of disks the index covers.
-func (x *DiskIndex) Disks() int { return len(x.start) - 1 }
+// NewSlidingDiskIndex builds an empty sliding index over a ring of
+// ringCap positions (a power of two, strictly greater than the maximum
+// number of unconsumed positions resident at once).
+func NewSlidingDiskIndex(disks, ringCap int) *DiskIndex {
+	if ringCap <= 0 || ringCap&(ringCap-1) != 0 {
+		panic("future: sliding disk index ring capacity must be a power of two")
+	}
+	x := &DiskIndex{
+		ring: make([]int32, ringCap),
+		mask: ringCap - 1,
+		head: make([]int32, disks),
+		tail: make([]int32, disks),
+	}
+	for d := range x.head {
+		x.head[d] = -1
+		x.tail[d] = -1
+	}
+	return x
+}
 
-// Positions returns disk d's reference positions in ascending order.
-// The slice aliases the index; callers must not modify it.
+// Append indexes position p on disk d. Positions must be appended in
+// strictly ascending order; positions of unplaced (phantom) blocks are
+// simply not appended.
+func (x *DiskIndex) Append(p, d int) {
+	if x.ring == nil {
+		panic("future: Append on a materialized disk index")
+	}
+	x.ring[p&x.mask] = -1
+	if x.head[d] < 0 {
+		// Chain empty: any recorded tail has been consumed and its ring
+		// slot may belong to another disk now; start fresh.
+		x.head[d] = int32(p)
+	} else {
+		x.ring[int(x.tail[d])&x.mask] = int32(p)
+	}
+	x.tail[d] = int32(p)
+}
+
+// AdvancePast removes position p (on disk d) from a sliding index once
+// the cursor has consumed it. Positions are consumed in order, so p is
+// always the chain head when it is indexed at all.
+func (x *DiskIndex) AdvancePast(p, d int) {
+	if x.ring == nil {
+		panic("future: AdvancePast on a materialized disk index")
+	}
+	if int(x.head[d]) == p {
+		x.head[d] = x.ring[p&x.mask]
+	}
+}
+
+// Disks returns the number of disks the index covers.
+func (x *DiskIndex) Disks() int {
+	if x.ring != nil {
+		return len(x.head)
+	}
+	return len(x.start) - 1
+}
+
+// Scan calls fn on disk d's indexed positions >= from, in ascending
+// order, until fn returns false or the positions run out. The index
+// keeps a per-disk cursor in materialized mode, so across calls `from`
+// must be monotonically non-decreasing per disk — which is how the
+// policies use it: they always scan from the current engine cursor.
+func (x *DiskIndex) Scan(d, from int, fn func(p int) bool) {
+	if x.ring != nil {
+		for p := x.head[d]; p >= 0; p = x.ring[int(p)&x.mask] {
+			if int(p) >= from && !fn(int(p)) {
+				return
+			}
+		}
+		return
+	}
+	ps := x.pos[x.start[d]:x.start[d+1]]
+	i := int(x.lb[d])
+	for i < len(ps) && int(ps[i]) < from {
+		i++
+	}
+	x.lb[d] = int32(i)
+	for ; i < len(ps); i++ {
+		if !fn(int(ps[i])) {
+			return
+		}
+	}
+}
+
+// Positions returns disk d's reference positions in ascending order
+// (materialized mode only). The slice aliases the index; callers must
+// not modify it.
 func (x *DiskIndex) Positions(d int) []int32 {
+	if x.ring != nil {
+		panic("future: Positions on a sliding disk index")
+	}
 	return x.pos[x.start[d]:x.start[d+1]]
 }
 
 // LowerBound returns the index of the first position >= p in
-// Positions(d) (== len(Positions(d)) if none).
+// Positions(d) (== len(Positions(d)) if none). Materialized mode only.
 func (x *DiskIndex) LowerBound(d, p int) int {
 	ps := x.Positions(d)
 	lo, hi := 0, len(ps)

@@ -29,6 +29,23 @@ type Oracle struct {
 	ptr   []int32 // per block: index into pos of first position >= cursor
 
 	cursor int
+
+	win *slidingWindow // non-nil in streaming mode (NewStreaming)
+}
+
+// slidingWindow holds the streaming oracle's state: a power-of-two ring
+// of the most recently appended references plus intrusive per-block
+// chains threading the unconsumed occurrences of each block through the
+// ring, so NextUse stays a single load. Positions are absolute sequence
+// indices; slot i&mask holds position i while filled-len(ring) < i.
+type slidingWindow struct {
+	ring   []layout.BlockID
+	next   []int32 // per slot: next unconsumed position of the same block, or -1
+	mask   int
+	head   []int32 // per block: first unconsumed appended position, or -1
+	tail   []int32 // per block: last appended position, or -1 (may be stale once head is -1)
+	used   []int32 // per block: occurrences the cursor has consumed (see Consumed)
+	filled int     // number of positions appended; the next Append is position filled
 }
 
 // New builds an oracle for the given reference sequence over a block ID
@@ -61,21 +78,103 @@ func New(refs []layout.BlockID, nBlocks int) *Oracle {
 	return o
 }
 
-// Len returns the length of the reference sequence.
-func (o *Oracle) Len() int { return len(o.refs) }
+// NewStreaming builds an oracle that answers next-use queries over a
+// sliding window of appended references instead of a fixed sequence: the
+// producer calls Append as references stream in and Advance as they are
+// consumed, keeping at most ringCap positions in flight. Queries see
+// exactly the appended-but-unconsumed window — a next use that has not
+// been appended yet is indistinguishable from Never, which is precisely
+// the partial-knowledge semantics of a bounded lookahead window.
+//
+// ringCap must be a power of two strictly greater than the maximum
+// number of unconsumed references resident at once (filled - cursor).
+func NewStreaming(nBlocks, ringCap int) *Oracle {
+	if ringCap <= 0 || ringCap&(ringCap-1) != 0 {
+		panic("future: streaming ring capacity must be a power of two")
+	}
+	w := &slidingWindow{
+		ring: make([]layout.BlockID, ringCap),
+		next: make([]int32, ringCap),
+		mask: ringCap - 1,
+		head: make([]int32, nBlocks),
+		tail: make([]int32, nBlocks),
+		used: make([]int32, nBlocks),
+	}
+	for b := range w.head {
+		w.head[b] = -1
+		w.tail[b] = -1
+	}
+	return &Oracle{win: w}
+}
+
+// Append discloses the next reference (position filled) to a streaming
+// oracle. Panics on a materialized oracle or if the window would exceed
+// the ring capacity.
+func (o *Oracle) Append(b layout.BlockID) {
+	w := o.win
+	if w == nil {
+		panic("future: Append on a materialized oracle")
+	}
+	i := w.filled
+	if i-o.cursor >= len(w.ring) {
+		panic("future: streaming oracle window overflow")
+	}
+	slot := i & w.mask
+	w.ring[slot] = b
+	w.next[slot] = -1
+	if w.head[b] < 0 {
+		// No unconsumed occurrence in the window: any tail is stale (its
+		// ring slot may since belong to another block), so start a fresh
+		// chain rather than linking through it.
+		w.head[b] = int32(i)
+	} else {
+		w.next[int(w.tail[b])&w.mask] = int32(i)
+	}
+	w.tail[b] = int32(i)
+	w.filled++
+}
+
+// Len returns the length of the reference sequence: in streaming mode,
+// the number of references appended so far.
+func (o *Oracle) Len() int {
+	if o.win != nil {
+		return o.win.filled
+	}
+	return len(o.refs)
+}
 
 // Cursor returns the current position: the index of the next reference to
 // be consumed.
 func (o *Oracle) Cursor() int { return o.cursor }
 
-// Block returns the block referenced at position i.
-func (o *Oracle) Block(i int) layout.BlockID { return o.refs[i] }
+// Block returns the block referenced at position i. In streaming mode i
+// must still be resident in the ring.
+func (o *Oracle) Block(i int) layout.BlockID {
+	if w := o.win; w != nil {
+		return w.ring[i&w.mask]
+	}
+	return o.refs[i]
+}
 
 // Advance moves the cursor forward to position c (monotonic). References
 // that the cursor passes stop counting as "next uses".
 func (o *Oracle) Advance(c int) {
 	if c < o.cursor {
 		panic("future: oracle cursor moved backwards")
+	}
+	if w := o.win; w != nil {
+		if c > w.filled {
+			panic("future: oracle cursor advanced past appended references")
+		}
+		for ; o.cursor < c; o.cursor++ {
+			slot := o.cursor & w.mask
+			b := w.ring[slot]
+			if int(w.head[b]) == o.cursor {
+				w.head[b] = w.next[slot]
+			}
+			w.used[b]++
+		}
+		return
 	}
 	for ; o.cursor < c; o.cursor++ {
 		b := o.refs[o.cursor]
@@ -90,13 +189,34 @@ func (o *Oracle) Advance(c int) {
 // NextUse returns the first position >= the cursor at which block b is
 // referenced, or Never if it is not referenced again. This is the
 // "next reference" every replacement rule in the paper is defined in
-// terms of.
+// terms of. A streaming oracle answers over its appended window: uses
+// not yet disclosed read as Never.
 func (o *Oracle) NextUse(b layout.BlockID) int {
+	if w := o.win; w != nil {
+		if h := w.head[b]; h >= 0 {
+			return int(h)
+		}
+		return Never
+	}
 	p := o.ptr[b]
 	if p >= o.start[b+1] {
 		return Never
 	}
 	return int(o.pos[p])
+}
+
+// Consumed returns the number of occurrences of block b the cursor has
+// passed. It changes exactly when NextUse(b) moves to a later position
+// (or Never) because an occurrence was consumed — so it serves as a
+// per-block epoch for detecting that movement even when both the old and
+// new answers read as Never, as happens under a streaming oracle whose
+// window slides past an occurrence and onward until the block's next use
+// is no longer disclosed.
+func (o *Oracle) Consumed(b layout.BlockID) int {
+	if w := o.win; w != nil {
+		return int(w.used[b])
+	}
+	return int(o.ptr[b] - o.start[b])
 }
 
 // NextUseWithin returns b's next reference position when it falls inside
@@ -116,6 +236,9 @@ func (o *Oracle) NextUseWithin(b layout.BlockID, window int) int {
 // which b is referenced, or Never. Reverse aggressive's schedule
 // construction uses this to compute release times.
 func (o *Oracle) NextUseAfter(b layout.BlockID, pos int) int {
+	if o.win != nil {
+		panic("future: NextUseAfter requires a materialized oracle")
+	}
 	lo, hi := int(o.ptr[b]), int(o.start[b+1])
 	for lo < hi {
 		mid := (lo + hi) / 2

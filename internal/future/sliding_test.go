@@ -1,0 +1,136 @@
+package future
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppcsim/internal/layout"
+)
+
+// TestStreamingOracleMatchesMaterialized drives a streaming oracle and a
+// materialized oracle over the same random sequences in lockstep — the
+// streaming one fed through a bounded disclosure window of A references —
+// and checks that every query agrees with the materialized answer
+// truncated at the window edge: NextUse reads Never exactly when the true
+// next use has not been appended yet, and Consumed (the per-block epoch)
+// matches unconditionally.
+func TestStreamingOracleMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		nBlocks := 2 + rng.Intn(24)
+		n := rng.Intn(400)
+		ahead := 1 + rng.Intn(70)
+		ringCap := 1
+		for ringCap < ahead+1 {
+			ringCap *= 2
+		}
+		refs := make([]layout.BlockID, n)
+		for i := range refs {
+			refs[i] = layout.BlockID(rng.Intn(nBlocks))
+		}
+		mat := New(refs, nBlocks)
+		str := NewStreaming(nBlocks, ringCap)
+
+		filled := 0
+		for c := 0; c <= n; c++ {
+			for filled < n && filled < c+ahead {
+				str.Append(refs[filled])
+				filled++
+			}
+			mat.Advance(c)
+			str.Advance(c)
+			if str.Len() != filled {
+				t.Fatalf("trial %d c=%d: streaming Len %d, appended %d", trial, c, str.Len(), filled)
+			}
+			for b := 0; b < nBlocks; b++ {
+				id := layout.BlockID(b)
+				want := mat.NextUse(id)
+				if want >= filled {
+					want = Never
+				}
+				if got := str.NextUse(id); got != want {
+					t.Fatalf("trial %d c=%d filled=%d: NextUse(%d) = %d, want %d",
+						trial, c, filled, b, got, want)
+				}
+				if got, want := str.Consumed(id), mat.Consumed(id); got != want {
+					t.Fatalf("trial %d c=%d: Consumed(%d) = %d, want %d", trial, c, b, got, want)
+				}
+			}
+			for p := c; p < filled; p++ {
+				if got := str.Block(p); got != refs[p] {
+					t.Fatalf("trial %d c=%d: Block(%d) = %d, want %d", trial, c, p, got, refs[p])
+				}
+			}
+		}
+	}
+}
+
+// TestSlidingDiskIndexMatchesCSRScan drives a sliding disk index through
+// the engine's append/advance pattern and checks Scan yields exactly the
+// positions a CSR index over the full sequence would, truncated to the
+// disclosure window — including early termination when the callback
+// returns false.
+func TestSlidingDiskIndexMatchesCSRScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		nBlocks := 2 + rng.Intn(24)
+		disks := 1 + rng.Intn(5)
+		n := rng.Intn(400)
+		ahead := 1 + rng.Intn(70)
+		ringCap := 1
+		for ringCap < ahead+1 {
+			ringCap *= 2
+		}
+		refs := make([]layout.BlockID, n)
+		for i := range refs {
+			refs[i] = layout.BlockID(rng.Intn(nBlocks))
+		}
+		// The highest block id is excluded, as the engine excludes the
+		// phantom.
+		diskOf := func(b layout.BlockID) int {
+			if int(b) == nBlocks-1 {
+				return -1
+			}
+			return int(b) % disks
+		}
+		csr := NewDiskIndex(refs, disks, diskOf)
+		sl := NewSlidingDiskIndex(disks, ringCap)
+
+		filled := 0
+		for c := 0; c <= n; c++ {
+			for filled < n && filled < c+ahead {
+				if d := diskOf(refs[filled]); d >= 0 {
+					sl.Append(filled, d)
+				}
+				filled++
+			}
+			if c > 0 {
+				if d := diskOf(refs[c-1]); d >= 0 {
+					sl.AdvancePast(c-1, d)
+				}
+			}
+			d := rng.Intn(disks)
+			stopAfter := rng.Intn(6) // 0 means scan everything
+			var got, want []int
+			sl.Scan(d, c, func(p int) bool {
+				got = append(got, p)
+				return stopAfter == 0 || len(got) < stopAfter
+			})
+			csr.Scan(d, c, func(p int) bool {
+				if p >= filled {
+					return false
+				}
+				want = append(want, p)
+				return stopAfter == 0 || len(want) < stopAfter
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d c=%d d=%d: scan yielded %v, want %v", trial, c, d, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d c=%d d=%d: scan yielded %v, want %v", trial, c, d, got, want)
+				}
+			}
+		}
+	}
+}

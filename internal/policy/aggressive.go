@@ -90,7 +90,7 @@ func (a *Aggressive) globalFirstMissing(limit int) int {
 	if c := s.Cursor(); p < c {
 		p = c
 	}
-	for p < limit && !s.Cache.Absent(s.Refs[p]) {
+	for p < limit && !s.Cache.Absent(s.Ref(p)) {
 		p++
 	}
 	a.gpos = p
@@ -138,7 +138,7 @@ func (a *Aggressive) Poll() {
 		// FurthestEvictable call the loop would make (stale-entry pops and
 		// all); on any other Poll shape the loop decides without the heap
 		// or with a different first candidate, so fall through to it.
-		if d := s.DiskOf(s.Refs[p]); s.DriveFree(d) {
+		if d := s.DiskOf(s.Ref(p)); s.DriveFree(d) {
 			if _, vUse := s.Cache.FurthestEvictable(); vUse <= p {
 				return
 			}
@@ -160,7 +160,7 @@ func (a *Aggressive) Poll() {
 	for {
 		d := -1
 		for p < limit {
-			b := s.Refs[p]
+			b := s.Ref(p)
 			if s.Cache.Absent(b) {
 				d = s.DiskOf(b)
 				if a.stamp[d] != a.epoch {
@@ -179,7 +179,7 @@ func (a *Aggressive) Poll() {
 		if p >= limit {
 			break
 		}
-		ok, victim := a.tryFetch(s.Refs[p], p)
+		ok, victim := a.tryFetch(s.Ref(p), p)
 		if !ok {
 			// Do no harm disallows any further fetch: every later missing
 			// block is needed even later than this one.

@@ -64,7 +64,7 @@ func (f *FixedHorizon) Poll() {
 		f.scanned = c
 	}
 	for ; f.scanned < limit; f.scanned++ {
-		if s.Cache.Absent(s.Refs[f.scanned]) {
+		if s.Cache.Absent(s.Ref(f.scanned)) {
 			f.pending = append(f.pending, f.scanned)
 		}
 	}
@@ -78,7 +78,7 @@ func (f *FixedHorizon) Poll() {
 		if p < c {
 			continue
 		}
-		b := s.Refs[p]
+		b := s.Ref(p)
 		if !s.Cache.Absent(b) {
 			continue
 		}

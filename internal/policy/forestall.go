@@ -66,10 +66,9 @@ type Forestall struct {
 	nextCheck []int
 
 	// dindex groups reference positions by disk so forecast and
-	// issueBatch walk only disk d's positions; dlb[d] is the (monotone)
-	// index of the first position >= cursor in dindex.Positions(d).
+	// issueBatch walk only disk d's positions (via Scan, which keeps the
+	// per-disk monotone cursor internally).
 	dindex *future.DiskIndex
-	dlb    []int
 
 	// Fixed-horizon rule scan state.
 	fhScanned int
@@ -109,22 +108,9 @@ func (f *Forestall) Attach(s *engine.State) {
 	f.cpuSum, f.cpuPos, f.cpuN, f.seenCPU = 0, 0, 0, 0
 	f.nextCheck = make([]int, d)
 	f.dindex = s.DiskIndex()
-	f.dlb = make([]int, d)
 	f.fhScanned = 0
 	f.fhRetry = f.fhRetry[:0]
 	s.OnComplete = f.onComplete
-}
-
-// fromCursor returns disk d's positions at or after the cursor c,
-// advancing the disk's lower-bound index (the cursor only moves forward).
-func (f *Forestall) fromCursor(d, c int) []int32 {
-	ps := f.dindex.Positions(d)
-	i := f.dlb[d]
-	for i < len(ps) && int(ps[i]) < c {
-		i++
-	}
-	f.dlb[d] = i
-	return ps[i:]
 }
 
 // onComplete records a disk access time sample.
@@ -208,13 +194,12 @@ func (f *Forestall) forecast(d int) {
 	i := 0
 	minSlack := 1 << 30
 	trigger := false
-	for _, pp := range f.fromCursor(d, c) {
-		p := int(pp)
+	f.dindex.Scan(d, c, func(p int) bool {
 		if p >= limit {
-			break
+			return false
 		}
-		if !s.Cache.Absent(s.Refs[p]) {
-			continue
+		if !s.Cache.Absent(s.Ref(p)) {
+			return true
 		}
 		i++
 		slack := (p - c) - int(float64(i)*fp)
@@ -223,9 +208,10 @@ func (f *Forestall) forecast(d int) {
 		}
 		if slack < 0 {
 			trigger = true
-			break
+			return false
 		}
-	}
+		return true
+	})
 	if !trigger {
 		wait := minSlack
 		if wait < 1 {
@@ -252,22 +238,22 @@ func (f *Forestall) issueBatch(d int) {
 	}
 	limit = s.WindowLimit(limit)
 	left := f.batch
-	for _, pp := range f.fromCursor(d, c) {
-		p := int(pp)
+	f.dindex.Scan(d, c, func(p int) bool {
 		if p >= limit || left <= 0 {
-			break
+			return false
 		}
-		b := s.Refs[p]
+		b := s.Ref(p)
 		if !s.Cache.Absent(b) {
-			continue
+			return true
 		}
 		ok, victim := issueWithVictim(s, b, p)
 		if !ok {
-			break // do no harm stops everything later too
+			return false // do no harm stops everything later too
 		}
 		f.noteEviction(victim)
 		left--
-	}
+		return true
+	})
 }
 
 // pollHorizonRule applies fixed horizon's rule: fetch any missing block
@@ -288,7 +274,7 @@ func (f *Forestall) pollHorizonRule() {
 			if p < c {
 				continue
 			}
-			b := s.Refs[p]
+			b := s.Ref(p)
 			if !s.Cache.Absent(b) {
 				continue
 			}
@@ -302,7 +288,7 @@ func (f *Forestall) pollHorizonRule() {
 		f.fhScanned = c
 	}
 	for ; f.fhScanned < limit; f.fhScanned++ {
-		b := s.Refs[f.fhScanned]
+		b := s.Ref(f.fhScanned)
 		if !s.Cache.Absent(b) {
 			continue
 		}
@@ -322,12 +308,15 @@ func (f *Forestall) fetchWithin(b layout.BlockID, p int) bool {
 }
 
 // noteEviction invalidates the stall forecast of the victim's disk: its
-// next use has become a missing block.
+// next use has become a missing block. The next use is read through
+// NextUseVisible — the raw oracle answer would leak knowledge beyond the
+// lookahead window into the recheck schedule (harmless for correctness,
+// but it would make windowed streamed and materialized runs diverge).
 func (f *Forestall) noteEviction(v layout.BlockID) {
 	if v == cache.NoBlock {
 		return
 	}
-	if u := f.s.Oracle.NextUse(v); u < f.s.Cursor()+f.window {
+	if u := f.s.NextUseVisible(v); u < f.s.Cursor()+f.window {
 		f.nextCheck[f.s.DiskOf(v)] = 0
 	}
 }

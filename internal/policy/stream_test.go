@@ -1,0 +1,184 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppcsim/internal/engine"
+	"ppcsim/internal/layout"
+	"ppcsim/internal/obs"
+	"ppcsim/internal/trace"
+)
+
+// The streaming acceptance criterion: running a trace through
+// Config.Source (bounded resident window) must produce byte-identical
+// results — metrics AND observer event streams — to materializing the
+// same trace and running it with the same options. These tests sweep
+// policies x windows x disks x hint noise, plus a write-bearing trace.
+
+// mixedTrace builds a trace mixing loop and random re-references, with
+// varied compute times, so prefetch batching, eviction, and the LRU
+// fallback all get exercised.
+func mixedTrace(n, blocks int, writes bool, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{
+		Name:        "stream-mixed",
+		Files:       []layout.File{{First: 0, Blocks: blocks}},
+		CacheBlocks: blocks / 4,
+	}
+	for i := 0; i < n; i++ {
+		var b int
+		if i%3 == 0 {
+			b = rng.Intn(blocks)
+		} else {
+			b = i % blocks
+		}
+		r := trace.Ref{
+			Block:     layout.BlockID(b),
+			ComputeMs: 0.05 + rng.Float64()*2,
+		}
+		if writes && i%7 == 5 {
+			r.Write = true
+		}
+		tr.Refs = append(tr.Refs, r)
+	}
+	return tr
+}
+
+func streamPolicies() map[string]func() engine.Policy {
+	return map[string]func() engine.Policy{
+		"demand":       func() engine.Policy { return NewDemand() },
+		"fixedhorizon": func() engine.Policy { return NewFixedHorizon(0) },
+		"aggressive":   func() engine.Policy { return NewAggressive(0) },
+		"forestall":    func() engine.Policy { return NewForestall() },
+	}
+}
+
+func TestStreamedMatchesMaterialized(t *testing.T) {
+	windows := []int{16, 64, 300, engine.WindowNone}
+	hints := []engine.HintSpec{
+		{Fraction: 1, Accuracy: 1},
+		{Fraction: 0.7, Accuracy: 0.9, Seed: 42},
+	}
+	for _, writes := range []bool{false, true} {
+		tr := mixedTrace(4000, 256, writes, 7)
+		for name, mk := range streamPolicies() {
+			for _, disks := range []int{1, 4} {
+				for _, w := range windows {
+					for _, h := range hints {
+						h := h
+						h.Window = w
+						label := fmt.Sprintf("%s/d=%d/w=%d/f=%g/writes=%t", name, disks, w, h.Fraction, writes)
+
+						matRec := obs.NewRecorder()
+						mat, err := engine.Run(engine.Config{
+							Trace: tr, Policy: mk(), Disks: disks,
+							Model: fixed(4), Hints: &h, Observer: matRec,
+						})
+						if err != nil {
+							t.Fatalf("%s materialized: %v", label, err)
+						}
+						strRec := obs.NewRecorder()
+						str, err := engine.Run(engine.Config{
+							Source: tr.Source(), Policy: mk(), Disks: disks,
+							Model: fixed(4), Hints: &h, Observer: strRec,
+						})
+						if err != nil {
+							t.Fatalf("%s streamed: %v", label, err)
+						}
+						if !reflect.DeepEqual(mat, str) {
+							t.Errorf("%s: results differ\nmaterialized: %+v\nstreamed:     %+v", label, mat, str)
+						}
+						if !reflect.DeepEqual(matRec, strRec) {
+							t.Errorf("%s: observer event streams differ", label)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamedMatchesMaterializedVariedService repeats the sweep's most
+// eviction-heavy corner with a position-dependent service time, so disk
+// completion order (and with it CSCAN reordering and stall patterns)
+// differs from the constant-time model.
+func TestStreamedMatchesMaterializedVariedService(t *testing.T) {
+	tr := mixedTrace(3000, 200, false, 11)
+	h := engine.HintSpec{Fraction: 0.9, Accuracy: 0.95, Seed: 3, Window: 48}
+	for name, mk := range streamPolicies() {
+		mat, err := engine.Run(engine.Config{Trace: tr, Policy: mk(), Disks: 4, Hints: &h})
+		if err != nil {
+			t.Fatalf("%s materialized: %v", name, err)
+		}
+		str, err := engine.Run(engine.Config{Source: tr.Source(), Policy: mk(), Disks: 4, Hints: &h})
+		if err != nil {
+			t.Fatalf("%s streamed: %v", name, err)
+		}
+		if !reflect.DeepEqual(mat, str) {
+			t.Errorf("%s: results differ\nmaterialized: %+v\nstreamed:     %+v", name, mat, str)
+		}
+	}
+}
+
+// TestStreamingGuards pins the validation surface of streaming runs.
+func TestStreamingGuards(t *testing.T) {
+	tr := mixedTrace(100, 32, false, 1)
+	base := func() engine.Config {
+		return engine.Config{
+			Source: tr.Source(), Policy: NewForestall(), Disks: 1, Model: fixed(4),
+			Hints: &engine.HintSpec{Fraction: 1, Accuracy: 1, Window: 16},
+		}
+	}
+
+	if _, err := engine.Run(base()); err != nil {
+		t.Fatalf("valid streaming config rejected: %v", err)
+	}
+
+	cfg := base()
+	cfg.Trace = tr
+	if _, err := engine.Run(cfg); err == nil {
+		t.Error("Trace+Source accepted")
+	}
+
+	cfg = base()
+	cfg.Hints = nil
+	if _, err := engine.Run(cfg); err == nil {
+		t.Error("streaming without hints accepted")
+	}
+
+	cfg = base()
+	cfg.Hints.Window = 0
+	if _, err := engine.Run(cfg); err == nil {
+		t.Error("streaming with unlimited window accepted")
+	}
+
+	cfg = base()
+	cfg.Hints.Window = len(tr.Refs)
+	if _, err := engine.Run(cfg); err == nil {
+		t.Error("streaming with window covering the trace accepted")
+	}
+
+	cfg = base()
+	cfg.Hints.Window = engine.WindowNone
+	if _, err := engine.Run(cfg); err != nil {
+		t.Errorf("WindowNone streaming rejected: %v", err)
+	}
+
+	cfg = base()
+	cfg.Policy = fullTracePolicy{}
+	if _, err := engine.Run(cfg); err == nil {
+		t.Error("RequiresFullTrace policy accepted for a streaming run")
+	}
+}
+
+// fullTracePolicy mimics reverse aggressive's marker.
+type fullTracePolicy struct{}
+
+func (fullTracePolicy) Name() string           { return "full-trace-test" }
+func (fullTracePolicy) Attach(*engine.State)   {}
+func (fullTracePolicy) Poll()                  {}
+func (fullTracePolicy) OnStall(layout.BlockID) {}
+func (fullTracePolicy) RequiresFullTrace()     {}

@@ -353,6 +353,11 @@ func New(fetchEstimate float64, batchSize int) *Policy {
 // Name implements engine.Policy.
 func (p *Policy) Name() string { return "reverse-aggressive" }
 
+// RequiresFullTrace marks the policy as incompatible with streaming
+// sources: the reverse pass walks the whole reference sequence backwards
+// before the run starts, so the engine must materialize the trace.
+func (p *Policy) RequiresFullTrace() {}
+
 // Attach implements engine.Policy: it constructs the offline schedule.
 func (p *Policy) Attach(s *engine.State) {
 	p.s = s

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -17,8 +19,12 @@ import (
 // JobSpec embeds it as the base configuration its grid axes vary.
 //
 // Exactly one of Trace (a bundled trace name) or TraceText (an inline
-// trace in the ppctrace text format, see trace.Write) selects the
-// workload. Absent optional fields take the simulator's defaults,
+// trace) selects the workload. TraceText carries either the ppctrace
+// text format (see trace.Write) or a base64-encoded columnar binary
+// trace (see docs/trace-format.md), told apart by content sniffing on
+// the base64 prefix of the columnar magic; both hash into the result
+// cache key the same way. Absent optional fields take the simulator's
+// defaults,
 // matching ppcsim.Options: zero Disks means one drive, zero CacheBlocks
 // means the trace's default size, and zero batch/horizon/estimate
 // values mean the paper's Table 6 settings.
@@ -185,7 +191,17 @@ func (r *RunSpec) Options(loadTrace func(name string) (*ppcsim.Trace, error)) (p
 	var tr *ppcsim.Trace
 	var err error
 	if r.TraceText != "" {
-		tr, err = trace.Read(strings.NewReader(r.TraceText))
+		if strings.HasPrefix(r.TraceText, trace.ColumnarBase64Prefix) {
+			// A base64-encoded columnar binary trace: no text trace can
+			// start with this prefix (text headers start with "ppctrace ").
+			raw, derr := base64.StdEncoding.DecodeString(r.TraceText)
+			if derr != nil {
+				return ppcsim.Options{}, &ppcsim.ConfigError{Field: "TraceText", Reason: fmt.Sprintf("columnar body is not valid base64: %v", derr)}
+			}
+			tr, err = trace.ReadColumnar(bytes.NewReader(raw))
+		} else {
+			tr, err = trace.Read(strings.NewReader(r.TraceText))
+		}
 		if err != nil {
 			return ppcsim.Options{}, &ppcsim.ConfigError{Field: "TraceText", Reason: err.Error()}
 		}

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"ppcsim"
+	"ppcsim/internal/trace"
 )
 
 // inlineTrace renders a small deterministic trace in the ppctrace text
@@ -108,6 +110,48 @@ func TestSimulateWindowedEndToEnd(t *testing.T) {
 	}
 	if res.CacheHits+res.CacheMisses != 400 {
 		t.Errorf("served %d of 400 refs", res.CacheHits+res.CacheMisses)
+	}
+}
+
+// TestSimulateColumnarInline: trace_text carrying a base64-encoded
+// columnar binary trace is sniffed, decoded, and must produce the exact
+// Result JSON the same trace produces in the text format.
+func TestSimulateColumnarInline(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	text := inlineTrace("col", 64, 400)
+	tr, err := trace.Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col bytes.Buffer
+	if _, err := trace.WriteColumnar(&col, tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	b64 := base64.StdEncoding.EncodeToString(col.Bytes())
+	if !strings.HasPrefix(b64, trace.ColumnarBase64Prefix) {
+		t.Fatalf("encoded columnar trace does not start with the sniff prefix: %q", b64[:12])
+	}
+
+	resp, gotCol := post(t, ts, fmt.Sprintf(`{"trace_text":%q,"algorithm":"forestall","disks":2,"cache_blocks":16}`, b64))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("columnar status %d: %s", resp.StatusCode, gotCol)
+	}
+	resp, gotText := post(t, ts, fmt.Sprintf(`{"trace_text":%q,"algorithm":"forestall","disks":2,"cache_blocks":16}`, text))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text status %d: %s", resp.StatusCode, gotText)
+	}
+	if !bytes.Equal(gotCol, gotText) {
+		t.Errorf("columnar and text runs differ:\ncolumnar: %s\ntext:     %s", gotCol, gotText)
+	}
+
+	// A corrupt base64 body must 400 naming TraceText, not panic.
+	resp, got := post(t, ts, `{"trace_text":"`+trace.ColumnarBase64Prefix+`!!!","algorithm":"demand"}`)
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(got, []byte("TraceText")) {
+		t.Errorf("corrupt columnar body: status %d, body %s", resp.StatusCode, got)
 	}
 }
 

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ppcsim/internal/layout"
+)
+
+// TestMetaValidateErrors covers the header invariants Meta.Validate
+// enforces before a streaming run starts.
+func TestMetaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Meta
+		want string
+	}{
+		{"empty", Meta{Name: "t", Files: []layout.File{{Blocks: 4}}, Refs: 0}, "empty"},
+		{"zero-size file", Meta{Name: "t", Files: []layout.File{{Blocks: 0}}, Refs: 1}, "has size"},
+		{"gap", Meta{Name: "t", Files: []layout.File{{First: 0, Blocks: 4}, {First: 5, Blocks: 4}}, Refs: 1}, "not contiguous"},
+		{"no files", Meta{Name: "t", Refs: 1}, "no files"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.m.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+	ok := Meta{Name: "t", Files: []layout.File{{First: 0, Blocks: 4}, {First: 4, Blocks: 2}}, Refs: 3}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid meta rejected: %v", err)
+	}
+}
+
+// brokenSource misbehaves in the ways Materialize must catch: metadata
+// promising more references than the stream yields, read errors, and
+// zero-progress reads.
+type brokenSource struct {
+	meta Meta
+	mode string
+	done bool
+}
+
+func (s *brokenSource) Meta() Meta   { return s.meta }
+func (s *brokenSource) Reset() error { s.done = false; return nil }
+
+func (s *brokenSource) ReadRefs(p []Ref) (int, error) {
+	switch s.mode {
+	case "short":
+		if s.done {
+			return 0, io.EOF
+		}
+		s.done = true
+		p[0] = Ref{Block: 0, ComputeMs: 1}
+		return 1, nil
+	case "readerr":
+		return 0, errors.New("disk on fire")
+	default: // "stuck": no refs, no error
+		return 0, nil
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	meta := Meta{Name: "b", Files: []layout.File{{Blocks: 8}}, Refs: 3}
+	for _, c := range []struct {
+		mode string
+		want string
+	}{
+		{"short", "yielded"},
+		{"readerr", "disk on fire"},
+		{"stuck", "no references"},
+	} {
+		t.Run(c.mode, func(t *testing.T) {
+			_, err := Materialize(&brokenSource{meta: meta, mode: c.mode})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Materialize = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+
+	t.Run("invalid meta", func(t *testing.T) {
+		_, err := Materialize(&brokenSource{meta: Meta{Name: "b", Refs: 0}})
+		if err == nil || !strings.Contains(err.Error(), "empty") {
+			t.Fatalf("Materialize = %v, want metadata validation error", err)
+		}
+	})
+
+	t.Run("roundtrip", func(t *testing.T) {
+		tr := genTestTrace("mat", 100)
+		src := tr.Source()
+		// Partially consume, then materialize: Reset must rewind first.
+		var buf [7]Ref
+		if _, err := src.ReadRefs(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Materialize(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(back.Refs, tr.Refs) {
+			t.Fatal("materialized refs differ from the original")
+		}
+	})
+}
+
+// TestOpenColumnarFile exercises the file-backed source end to end:
+// open, stream, rewind, and the open-time error paths.
+func TestOpenColumnarFile(t *testing.T) {
+	tr := genTestTrace("filesrc", 20000) // >2 frames
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.col")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteColumnar(f, tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenColumnarFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if got := src.Meta().Refs; got != int64(len(tr.Refs)) {
+		t.Fatalf("meta refs = %d, want %d", got, len(tr.Refs))
+	}
+	for round := 0; round < 2; round++ {
+		back, err := Materialize(src)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(back.Refs, tr.Refs) {
+			t.Fatalf("round %d: refs differ", round)
+		}
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenColumnarFile(filepath.Join(dir, "missing.col")); err == nil {
+		t.Fatal("opening a missing file succeeded")
+	}
+	textPath := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(textPath, []byte("ppctrace x true 4\nfile 4\nr 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenColumnarFile(textPath); err == nil {
+		t.Fatal("opening a text trace as columnar succeeded")
+	}
+}
+
+// TestNewColumnarSourceRejectsBadHeaders covers the open-time validation
+// of the streaming decoder.
+func TestNewColumnarSourceRejectsBadHeaders(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteColumnar(&buf, genTestTrace("hdr", 50).Source()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := NewColumnarSource(bytes.NewReader([]byte("not a columnar file"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewColumnarSource(bytes.NewReader(good[:4])); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+// TestInspectColumnarErrors covers the trailer and footer validation of
+// the point-read inspector.
+func TestInspectColumnarErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteColumnar(&buf, genTestTrace("ins", 50).Source()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := InspectColumnar(bytes.NewReader(good[:8]), 8); err == nil ||
+		!strings.Contains(err.Error(), "too short") {
+		t.Fatal("short file accepted")
+	}
+
+	noMagic := append([]byte(nil), good...)
+	copy(noMagic[len(noMagic)-len("ppccend1"):], "XXXXXXXX")
+	if _, err := InspectColumnar(bytes.NewReader(noMagic), int64(len(noMagic))); err == nil ||
+		!strings.Contains(err.Error(), "end magic") {
+		t.Fatal("bad end magic accepted")
+	}
+
+	badOff := append([]byte(nil), good...)
+	for i := 0; i < 8; i++ { // footer offset -> huge
+		badOff[len(badOff)-len("ppccend1")-8+i] = 0xff
+	}
+	if _, err := InspectColumnar(bytes.NewReader(badOff), int64(len(badOff))); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatal("out-of-range footer offset accepted")
+	}
+
+	info, err := InspectColumnar(bytes.NewReader(good), int64(len(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Meta.Refs != 50 || info.Frames != 1 || len(info.FrameOffsets) != 1 {
+		t.Fatalf("inspect = %+v", info)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"ppcsim/internal/layout"
 )
@@ -114,9 +116,12 @@ func (t *Trace) ScaleCompute(factor float64) *Trace {
 }
 
 // Truncate returns a copy containing only the first n references (or the
-// whole trace if n >= len). Used by tests and benches to run scaled-down
-// configurations.
+// whole trace if n >= len; an empty copy if n < 0). Used by tests and
+// benches to run scaled-down configurations.
 func (t *Trace) Truncate(n int) *Trace {
+	if n < 0 {
+		n = 0
+	}
 	if n > len(t.Refs) {
 		n = len(t.Refs)
 	}
@@ -149,13 +154,32 @@ func (t *Trace) Validate() error {
 	if n == 0 {
 		return fmt.Errorf("trace %q: no files", t.Name)
 	}
+	total := 0.0
 	for i, r := range t.Refs {
 		if int(r.Block) < 0 || int(r.Block) >= n {
 			return fmt.Errorf("trace %q: ref %d block %d out of range [0,%d)", t.Name, i, r.Block, n)
 		}
-		if r.ComputeMs < 0 {
-			return fmt.Errorf("trace %q: ref %d negative compute %g", t.Name, i, r.ComputeMs)
+		if err := validCompute(r.ComputeMs); err != nil {
+			return fmt.Errorf("trace %q: ref %d: %v", t.Name, i, err)
 		}
+		total += r.ComputeMs
+	}
+	if math.IsInf(total, 0) {
+		return fmt.Errorf("trace %q: total compute overflows to %g", t.Name, total)
+	}
+	return nil
+}
+
+// validCompute rejects the compute times no reference may carry: negative
+// values, NaN, and infinities. strconv.ParseFloat happily parses "NaN"
+// and "Inf" tokens and `x < 0` is false for NaN, so without this check a
+// corrupt trace file flows NaN into every engine metric.
+func validCompute(ms float64) error {
+	if math.IsNaN(ms) || math.IsInf(ms, 0) {
+		return fmt.Errorf("non-finite compute %g", ms)
+	}
+	if ms < 0 {
+		return fmt.Errorf("negative compute %g", ms)
 	}
 	return nil
 }
@@ -166,9 +190,18 @@ func (t *Trace) Validate() error {
 //	file <blocks>         (one per file)
 //	r <block> <computeMs> (one per read)
 //	w <block> <computeMs> (one per write)
+//
+// Names containing whitespace, quotes, or non-printable characters are
+// written Go-quoted, so every name round-trips through Read (an unescaped
+// `my trace` would split into two header fields; a newline would inject
+// arbitrary lines).
 func (t *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "ppctrace %s %t %d\n", t.Name, t.PlaceByFile, t.CacheBlocks)
+	name := t.Name
+	if needsQuoting(name) {
+		name = strconv.Quote(name)
+	}
+	fmt.Fprintf(bw, "ppctrace %s %t %d\n", name, t.PlaceByFile, t.CacheBlocks)
 	for _, f := range t.Files {
 		fmt.Fprintf(bw, "file %d\n", f.Blocks)
 	}
@@ -182,6 +215,52 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// needsQuoting reports whether a trace name would not survive the text
+// header unescaped: empty, leading quote (would be mistaken for a quoted
+// name), whitespace (splits the field), or non-printable characters.
+func needsQuoting(name string) bool {
+	if name == "" || name[0] == '"' {
+		return true
+	}
+	for _, r := range name {
+		if unicode.IsSpace(r) || !strconv.IsPrint(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseHeader splits the `ppctrace <name> <placeByFile> <cacheBlocks>`
+// line, accepting both bare and Go-quoted names.
+func parseHeader(line string) (name string, rest []string, err error) {
+	const prefix = "ppctrace "
+	if !strings.HasPrefix(line, prefix) {
+		return "", nil, fmt.Errorf("trace: bad header %q", line)
+	}
+	tail := line[len(prefix):]
+	tail = strings.TrimLeft(tail, " \t")
+	if strings.HasPrefix(tail, `"`) {
+		q, qerr := strconv.QuotedPrefix(tail)
+		if qerr != nil {
+			return "", nil, fmt.Errorf("trace: bad quoted name in header %q", line)
+		}
+		if name, err = strconv.Unquote(q); err != nil {
+			return "", nil, fmt.Errorf("trace: bad quoted name in header %q", line)
+		}
+		rest = strings.Fields(tail[len(q):])
+	} else {
+		f := strings.Fields(tail)
+		if len(f) == 0 {
+			return "", nil, fmt.Errorf("trace: bad header %q", line)
+		}
+		name, rest = f[0], f[1:]
+	}
+	if len(rest) != 2 {
+		return "", nil, fmt.Errorf("trace: bad header %q", line)
+	}
+	return name, rest, nil
+}
+
 // Read parses a trace previously serialized with Write.
 func Read(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
@@ -189,16 +268,15 @@ func Read(r io.Reader) (*Trace, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("trace: empty input")
 	}
-	head := strings.Fields(sc.Text())
-	if len(head) != 4 || head[0] != "ppctrace" {
-		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	name, head, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
 	}
-	t := &Trace{Name: head[1]}
-	var err error
-	if t.PlaceByFile, err = strconv.ParseBool(head[2]); err != nil {
+	t := &Trace{Name: name}
+	if t.PlaceByFile, err = strconv.ParseBool(head[0]); err != nil {
 		return nil, fmt.Errorf("trace: bad placeByFile: %v", err)
 	}
-	if t.CacheBlocks, err = strconv.Atoi(head[3]); err != nil {
+	if t.CacheBlocks, err = strconv.Atoi(head[1]); err != nil {
 		return nil, fmt.Errorf("trace: bad cacheBlocks: %v", err)
 	}
 	next := 0

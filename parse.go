@@ -2,6 +2,7 @@ package ppcsim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -67,11 +68,21 @@ func (e *ConfigError) Error() string {
 // calls it first, so callers constructing Options programmatically can
 // validate early (e.g. at flag-parsing time) and get the same answer.
 func (o Options) Validate() error {
-	if o.Trace == nil {
-		return &ConfigError{Field: "Trace", Reason: "required (see NewTrace)"}
+	if o.Trace == nil && o.Source == nil {
+		return &ConfigError{Field: "Trace", Reason: "required (see NewTrace; or set Source for a streaming run)"}
 	}
-	if err := o.Trace.Validate(); err != nil {
-		return &ConfigError{Field: "Trace", Reason: err.Error()}
+	if o.Trace != nil && o.Source != nil {
+		return &ConfigError{Field: "Source", Reason: "mutually exclusive with Trace"}
+	}
+	if o.Trace != nil {
+		if err := o.Trace.Validate(); err != nil {
+			return &ConfigError{Field: "Trace", Reason: err.Error()}
+		}
+	}
+	if o.Source != nil {
+		if err := o.validateStreaming(); err != nil {
+			return err
+		}
 	}
 	if _, err := ParseAlgorithm(string(o.Algorithm)); err != nil {
 		reason := fmt.Sprintf("unknown algorithm %q (valid: %s)", o.Algorithm, algorithmNames())
@@ -102,7 +113,7 @@ func (o Options) Validate() error {
 		if err := o.Hints.Validate(); err != nil {
 			return &ConfigError{Field: "Hints", Reason: err.Error()}
 		}
-		if o.Algorithm == ReverseAggressive {
+		if o.Algorithm == ReverseAggressive && o.Trace != nil {
 			// Reverse aggressive is offline: it builds its schedule from
 			// the whole disclosed sequence up front. A spec is acceptable
 			// only when it is information-equivalent to full hints —
@@ -118,6 +129,31 @@ func (o Options) Validate() error {
 		if err := o.DiskGeometry.Validate(); err != nil {
 			return &ConfigError{Field: "DiskGeometry", Reason: err.Error()}
 		}
+	}
+	return nil
+}
+
+// validateStreaming checks the constraints specific to Options.Source
+// runs: a valid source header, a reference count that fits the engine's
+// int32 position space, an online algorithm, and a bounded lookahead
+// window — the window is what lets the engine keep only a ring of
+// upcoming references resident.
+func (o Options) validateStreaming() error {
+	m := o.Source.Meta()
+	if err := m.Validate(); err != nil {
+		return &ConfigError{Field: "Source", Reason: err.Error()}
+	}
+	if m.Refs >= math.MaxInt32 {
+		return &ConfigError{Field: "Source", Reason: fmt.Sprintf("trace length %d exceeds the streaming maximum of 2^31-2 references", m.Refs)}
+	}
+	if o.Algorithm == ReverseAggressive {
+		return &ConfigError{Field: "Algorithm", Reason: "reverse aggressive is offline and requires a materialized trace (see MaterializeTrace)"}
+	}
+	if o.Hints == nil {
+		return &ConfigError{Field: "Hints", Reason: "streaming runs require a bounded lookahead window (set Hints with Window > 0 or WindowNone)"}
+	}
+	if o.Hints.Window == 0 || int64(o.Hints.Window) >= m.Refs {
+		return &ConfigError{Field: "Hints", Reason: fmt.Sprintf("streaming runs require a window smaller than the trace (window %d, trace %d references)", o.Hints.Window, m.Refs)}
 	}
 	return nil
 }

@@ -23,6 +23,7 @@ package ppcsim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"ppcsim/internal/disk"
 	"ppcsim/internal/engine"
@@ -34,6 +35,45 @@ import (
 // Trace is a file-access trace: a read sequence with inter-reference
 // compute times and a (file, offset) structure for data placement.
 type Trace = trace.Trace
+
+// TraceSource is a streaming trace: references arrive in order through
+// ReadRefs and only a caller-chosen window is ever resident, so traces
+// far larger than memory can be simulated. Obtain one from
+// Trace.Source(), OpenColumnarTrace, or LargeTraceSpec.Source(); run it
+// with Options.Source. See trace.Source.
+type TraceSource = trace.Source
+
+// TraceMeta is the trace-level description a TraceSource carries (name,
+// file structure, default cache size, total reference count).
+type TraceMeta = trace.Meta
+
+// LargeTraceSpec describes a synthetic streaming trace of arbitrary
+// length: references are generated on demand, so a 10^9-reference
+// workload costs no memory to produce. See trace.LargeSpec.
+type LargeTraceSpec = trace.LargeSpec
+
+// ColumnarTraceFile is an open columnar trace file acting as a
+// TraceSource; Close it when done.
+type ColumnarTraceFile = trace.FileSource
+
+// OpenColumnarTrace opens a trace file in the columnar binary format
+// (see docs/trace-format.md) as a streaming TraceSource.
+func OpenColumnarTrace(path string) (*ColumnarTraceFile, error) {
+	return trace.OpenColumnarFile(path)
+}
+
+// WriteColumnarTrace encodes a trace source in the columnar binary
+// format, returning the number of bytes written.
+func WriteColumnarTrace(w io.Writer, src TraceSource) (int64, error) {
+	return trace.WriteColumnar(w, src)
+}
+
+// MaterializeTrace drains a streaming source into a fully resident
+// Trace, e.g. to run an offline algorithm (reverse aggressive) over a
+// columnar file that fits in memory.
+func MaterializeTrace(src TraceSource) (*Trace, error) {
+	return trace.Materialize(src)
+}
 
 // Result holds the metrics of one simulation run, in the units of the
 // paper's appendix tables.
@@ -126,8 +166,17 @@ func AllTraces() []*Trace { return trace.All() }
 // Options configures one simulation run. Zero values select the paper's
 // defaults.
 type Options struct {
-	// Trace to run; see NewTrace. Required.
+	// Trace to run; see NewTrace. Exactly one of Trace and Source is
+	// required.
 	Trace *Trace
+	// Source streams the trace instead of materializing it, keeping the
+	// engine's resident set bounded regardless of trace length. Streaming
+	// runs require Hints with a bounded Window (positive and smaller than
+	// the trace, or WindowNone) — the window is what bounds how much
+	// future the policies may consult — and reject the offline reverse
+	// aggressive algorithm. Results are byte-identical to running the
+	// materialized trace with the same options.
+	Source TraceSource
 	// Algorithm to simulate. Required.
 	Algorithm Algorithm
 	// Disks is the array size (default 1).
@@ -223,6 +272,7 @@ func RunContext(ctx context.Context, opts Options) (Result, error) {
 	}
 	cfg := engine.Config{
 		Trace:            opts.Trace,
+		Source:           opts.Source,
 		Policy:           pol,
 		Disks:            disks,
 		CacheBlocks:      opts.CacheBlocks,

@@ -1,0 +1,75 @@
+package ppcsim_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ppcsim"
+)
+
+// TestAllTraces pins the bundled-trace enumeration against TraceNames.
+func TestAllTraces(t *testing.T) {
+	all := ppcsim.AllTraces()
+	if len(all) != len(ppcsim.TraceNames) {
+		t.Fatalf("AllTraces returned %d traces, TraceNames lists %d", len(all), len(ppcsim.TraceNames))
+	}
+	for i, tr := range all {
+		if tr.Name != ppcsim.TraceNames[i] {
+			t.Errorf("AllTraces[%d] = %q, want %q", i, tr.Name, ppcsim.TraceNames[i])
+		}
+	}
+}
+
+// TestColumnarTraceAPI drives the public streaming surface end to end:
+// write a bundled trace to a columnar file, reopen it, run it streamed,
+// and require the result to equal the materialized run's.
+func TestColumnarTraceAPI(t *testing.T) {
+	tr, err := ppcsim.NewTrace("ld")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ld.col")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ppcsim.WriteColumnarTrace(f, tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != n {
+		t.Fatalf("WriteColumnarTrace reported %d bytes, file has %v (%v)", n, st, err)
+	}
+
+	src, err := ppcsim.OpenColumnarTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	back, err := ppcsim.MaterializeTrace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Refs, tr.Refs) {
+		t.Fatal("materialized columnar refs differ from the original trace")
+	}
+
+	hints := &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: 64}
+	want, err := ppcsim.Run(ppcsim.Options{Trace: tr, Algorithm: ppcsim.Forestall, Disks: 2, Hints: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ppcsim.Run(ppcsim.Options{Source: src, Algorithm: ppcsim.Forestall, Disks: 2, Hints: hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed run differs from materialized:\n%+v\n%+v", got, want)
+	}
+}
