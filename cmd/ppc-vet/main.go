@@ -1,22 +1,32 @@
 // Command ppc-vet runs the repository's domain analyzers — detrand,
-// maporder, floateq, obsguard — over Go packages and reports every
-// violation of the simulator's determinism, float-time, and
-// observability invariants.
+// maporder, floateq, obsguard, lockguard, goroleak, ctxflow,
+// errenvelope, hotalloc — over Go packages and reports every violation
+// of the simulator's determinism, float-time, observability,
+// concurrency-safety, and boundary-discipline invariants.
 //
 // Usage:
 //
 //	ppc-vet [flags] [packages]
 //
 // With no packages, ./... is analyzed. Exit status is 0 when the tree is
-// clean, 1 when diagnostics were reported, and 2 on analysis failure.
+// clean, 1 when diagnostics were reported (or, with -suppressions, when
+// a stale suppression exists), and 2 on analysis failure.
 //
-//	-json              emit diagnostics as a JSON array instead of text
+//	-json              emit the full report (diagnostics, per-analyzer
+//	                   wall time, suppression audit) as one JSON object
 //	-fixtures          run the analyzer fixture self-check and exit
+//	-suppressions      list every //ppcvet:ignore directive with its
+//	                   file:line and reason; exit 1 if any is stale
+//	-parallel          package analysis workers (capped at GOMAXPROCS)
 //	-detrand.exempt    comma-separated import-path prefixes detrand skips
 //	-obsguard.skip     comma-separated import paths obsguard skips
+//	-ctxflow.allow     comma-separated pkgpath.TypeName struct types
+//	                   allowed to carry a context.Context field
 //
 // A finding is suppressed by a trailing or immediately-preceding
-// //ppcvet:ignore <reason> comment; the reason is mandatory.
+// //ppcvet:ignore <reason> comment; the reason is mandatory, and a
+// suppression that no longer suppresses anything is flagged stale by
+// -suppressions so dead ignores cannot accumulate.
 package main
 
 import (
@@ -26,11 +36,17 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"ppcsim/internal/analysis"
+	"ppcsim/internal/analysis/ctxflow"
 	"ppcsim/internal/analysis/detrand"
+	"ppcsim/internal/analysis/errenvelope"
 	"ppcsim/internal/analysis/floateq"
+	"ppcsim/internal/analysis/goroleak"
+	"ppcsim/internal/analysis/hotalloc"
+	"ppcsim/internal/analysis/lockguard"
 	"ppcsim/internal/analysis/maporder"
 	"ppcsim/internal/analysis/obsguard"
 )
@@ -46,11 +62,21 @@ const obsguardSkipDefault = "ppcsim/internal/obs"
 // serving layer calls into) remains covered.
 const detrandExemptDefault = "ppcsim/internal/serve,ppcsim/cmd/ppc-serve"
 
+// ctxflowAllowDefault names the two struct types with a documented
+// reason to carry a context: the engine Config threads cooperative
+// cancellation into a synchronous simulation loop that predates
+// context plumbing, and the coordinator's jobRun scopes one sweep job's
+// retries and streams to the request that created it.
+const ctxflowAllowDefault = "ppcsim/internal/engine.Config,ppcsim/internal/serve/coord.jobRun"
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit the full report as one JSON object")
 	fixtures := flag.Bool("fixtures", false, "run the analyzer fixture self-check and exit")
+	suppressions := flag.Bool("suppressions", false, "audit //ppcvet:ignore directives; exit 1 on stale ones")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "package analysis workers (capped at GOMAXPROCS)")
 	detrandExempt := flag.String("detrand.exempt", detrandExemptDefault, "comma-separated import-path prefixes detrand skips")
 	obsguardSkip := flag.String("obsguard.skip", obsguardSkipDefault, "comma-separated import paths obsguard skips")
+	ctxflowAllow := flag.String("ctxflow.allow", ctxflowAllowDefault, "comma-separated pkgpath.TypeName structs allowed to store a context")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -62,41 +88,52 @@ func main() {
 		return
 	}
 
-	analyzers := configuredAnalyzers(*detrandExempt, *obsguardSkip)
+	analyzers := configuredAnalyzers(*detrandExempt, *obsguardSkip, *ctxflowAllow)
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := vet(".", patterns, analyzers)
+	res, err := analysis.Vet(".", patterns, analyzers, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppc-vet:", err)
 		os.Exit(2)
 	}
-	if *jsonOut {
-		writeJSON(os.Stdout, diags)
-	} else {
-		writeText(os.Stdout, diags)
+	if *suppressions {
+		if stale := writeSuppressions(os.Stdout, res.Suppressions); stale > 0 {
+			os.Exit(1)
+		}
+		return
 	}
-	if len(diags) > 0 {
+	if *jsonOut {
+		writeJSON(os.Stdout, res)
+	} else {
+		writeText(os.Stdout, res.Diagnostics)
+	}
+	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: ppc-vet [flags] [packages]\n\nanalyzers:\n")
-	for _, a := range configuredAnalyzers(detrandExemptDefault, obsguardSkipDefault) {
-		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	for _, a := range configuredAnalyzers(detrandExemptDefault, obsguardSkipDefault, ctxflowAllowDefault) {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 	}
 	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()
 }
 
-func configuredAnalyzers(detrandExempt, obsguardSkip string) []*analysis.Analyzer {
+func configuredAnalyzers(detrandExempt, obsguardSkip, ctxflowAllow string) []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.New(splitList(detrandExempt)),
 		maporder.Analyzer,
 		floateq.Analyzer,
 		obsguard.New(splitList(obsguardSkip)),
+		lockguard.Analyzer,
+		goroleak.Analyzer,
+		ctxflow.New(splitList(ctxflowAllow)),
+		errenvelope.Analyzer,
+		hotalloc.Analyzer,
 	}
 }
 
@@ -110,30 +147,40 @@ func splitList(s string) []string {
 	return out
 }
 
-// vet loads the patterns and runs every analyzer over each package.
-func vet(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	pkgs, err := analysis.Load(dir, patterns)
-	if err != nil {
-		return nil, err
+// relPath shortens filename to a cwd-relative path when that stays
+// inside the tree.
+func relPath(cwd, name string) string {
+	if cwd != "" {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
 	}
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, analysis.RunPackage(pkg, analyzers)...)
-	}
-	return diags, nil
+	return name
 }
 
 func writeText(w io.Writer, diags []analysis.Diagnostic) {
 	cwd, _ := os.Getwd()
 	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
-		}
-		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
+}
+
+// writeSuppressions renders the ignore-directive audit and returns the
+// number of stale entries — directives that suppressed nothing on this
+// run and should be deleted (or the regression they hid re-fixed).
+func writeSuppressions(w io.Writer, sups []analysis.Suppression) int {
+	cwd, _ := os.Getwd()
+	stale := 0
+	for _, s := range sups {
+		state := "used "
+		if !s.Used {
+			state = "STALE"
+			stale++
+		}
+		fmt.Fprintf(w, "%s %s:%d: %s\n", state, relPath(cwd, s.Pos.Filename), s.Pos.Line, s.Reason)
+	}
+	fmt.Fprintf(w, "%d suppressions, %d stale\n", len(sups), stale)
+	return stale
 }
 
 // jsonDiag is the machine-readable diagnostic shape for -json output.
@@ -145,10 +192,33 @@ type jsonDiag struct {
 	Message  string `json:"message"`
 }
 
-func writeJSON(w io.Writer, diags []analysis.Diagnostic) {
-	out := make([]jsonDiag, 0, len(diags))
-	for _, d := range diags {
-		out = append(out, jsonDiag{
+// jsonSuppression is one audited //ppcvet:ignore directive.
+type jsonSuppression struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+	Used   bool   `json:"used"`
+}
+
+// jsonReport is the -json document: the diagnostics, how long each
+// analyzer took across all packages, and the suppression audit, so CI
+// can archive one artifact per run.
+type jsonReport struct {
+	Diagnostics    []jsonDiag         `json:"diagnostics"`
+	AnalyzerWallMS map[string]float64 `json:"analyzer_wall_ms"`
+	Packages       int                `json:"packages"`
+	Suppressions   []jsonSuppression  `json:"suppressions"`
+}
+
+func writeJSON(w io.Writer, res analysis.VetResult) {
+	report := jsonReport{
+		Diagnostics:    make([]jsonDiag, 0, len(res.Diagnostics)),
+		AnalyzerWallMS: make(map[string]float64, len(res.Timings)),
+		Packages:       res.Packages,
+		Suppressions:   make([]jsonSuppression, 0, len(res.Suppressions)),
+	}
+	for _, d := range res.Diagnostics {
+		report.Diagnostics = append(report.Diagnostics, jsonDiag{
 			Analyzer: d.Analyzer,
 			File:     d.Pos.Filename,
 			Line:     d.Pos.Line,
@@ -156,9 +226,41 @@ func writeJSON(w io.Writer, diags []analysis.Diagnostic) {
 			Message:  d.Message,
 		})
 	}
+	for name, dur := range res.Timings {
+		report.AnalyzerWallMS[name] = float64(dur.Microseconds()) / 1000
+	}
+	for _, s := range res.Suppressions {
+		report.Suppressions = append(report.Suppressions, jsonSuppression{
+			File:   s.Pos.Filename,
+			Line:   s.Pos.Line,
+			Reason: s.Reason,
+			Used:   s.Used,
+		})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(out)
+	enc.Encode(report)
+}
+
+// fixtureInstance adapts an analyzer for its fixture packages, whose
+// import paths are fixture/<dir> rather than real module paths: ctxflow
+// allowlists the clean fixture's carrier, and errenvelope's scope and
+// helper set are rebased onto the fixture tree.
+func fixtureInstance(a *analysis.Analyzer, fixtureDir string) *analysis.Analyzer {
+	switch a.Name {
+	case "ctxflow":
+		if filepath.Base(fixtureDir) == "clean" {
+			return ctxflow.New([]string{"fixture/clean.carrier"})
+		}
+	case "errenvelope":
+		return errenvelope.New(errenvelope.Config{
+			Scope:     []string{"fixture/"},
+			Transport: []string{"writeJSON"},
+			Blessed:   []string{"WriteError"},
+			Envelope:  "ErrorEnvelope",
+		})
+	}
+	return a
 }
 
 // runFixtures checks every analyzer against its testdata packages — the
@@ -166,7 +268,10 @@ func writeJSON(w io.Writer, diags []analysis.Diagnostic) {
 // command line without go test.
 func runFixtures(w io.Writer) error {
 	failed := false
-	for _, a := range []*analysis.Analyzer{detrand.Analyzer, maporder.Analyzer, floateq.Analyzer, obsguard.Analyzer} {
+	for _, a := range []*analysis.Analyzer{
+		detrand.Analyzer, maporder.Analyzer, floateq.Analyzer, obsguard.Analyzer,
+		lockguard.Analyzer, goroleak.Analyzer, ctxflow.Analyzer, errenvelope.Analyzer, hotalloc.Analyzer,
+	} {
 		dir, err := analyzerDir(a.Name)
 		if err != nil {
 			return err
@@ -176,7 +281,7 @@ func runFixtures(w io.Writer) error {
 			return err
 		}
 		for _, fd := range fixtureDirs {
-			if err := analysis.RunFixture(a, fd); err != nil {
+			if err := analysis.RunFixture(fixtureInstance(a, fd), fd); err != nil {
 				failed = true
 				fmt.Fprintf(w, "FAIL %s %s\n%v\n", a.Name, filepath.Base(fd), err)
 				continue

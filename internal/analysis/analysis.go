@@ -8,9 +8,11 @@
 // The moving parts mirror x/tools/go/analysis at a much smaller scale: an
 // Analyzer holds a Run function that inspects one type-checked package
 // through a Pass and reports Diagnostics; Load builds packages with the
-// go command's export data (see load.go); RunPackage drives a set of
-// analyzers over one package and applies //ppcvet:ignore suppression
-// (see ignore.go); RunFixture checks an analyzer against a testdata
+// go command's export data (see load.go); AnalyzePackage drives a set
+// of analyzers over one package, applies //ppcvet:ignore suppression
+// (see ignore.go), and records per-analyzer wall time; Vet fans the
+// load-and-analyze pipeline across a bounded worker pool (see
+// parallel.go); RunFixture checks an analyzer against a testdata
 // package annotated with // want comments (see fixture.go).
 package analysis
 
@@ -20,6 +22,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer is one named check.
@@ -64,11 +67,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunPackage runs each analyzer over pkg, drops findings suppressed by a
-// //ppcvet:ignore directive, appends diagnostics for malformed
-// directives, and returns everything sorted by position.
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// PackageResult is the full outcome of analyzing one package:
+// surviving diagnostics, every suppression directive seen (with whether
+// it actually fired), and per-analyzer wall time.
+type PackageResult struct {
+	Diagnostics  []Diagnostic
+	Suppressions []Suppression
+	Timings      map[string]time.Duration
+}
+
+// AnalyzePackage runs each analyzer over pkg, drops findings suppressed
+// by a //ppcvet:ignore directive, appends diagnostics for malformed
+// directives, and returns everything sorted by position, together with
+// the suppression audit and per-analyzer timings.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer) PackageResult {
 	var all []Diagnostic
+	timings := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:     pkg.Fset,
@@ -77,10 +91,12 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Info:     pkg.Info,
 			analyzer: a,
 		}
+		start := time.Now() //ppcvet:ignore analyzer wall-time report for ppc-vet -json, not simulation time
 		a.Run(pass)
+		timings[a.Name] = time.Since(start) //ppcvet:ignore analyzer wall-time report for ppc-vet -json, not simulation time
 		all = append(all, pass.diags...)
 	}
-	idx, malformed := ignoreIndex(pkg.Fset, pkg.Files)
+	idx, _, malformed := scanDirectives(pkg.Fset, pkg.Files)
 	kept := malformed
 	for _, d := range all {
 		if !idx.suppresses(d) {
@@ -100,7 +116,20 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return PackageResult{Diagnostics: kept, Suppressions: idx.list, Timings: timings}
+}
+
+// RunPackage is AnalyzePackage reduced to its diagnostics — the
+// fixture runner and single-package callers need nothing else.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return AnalyzePackage(pkg, analyzers).Diagnostics
+}
+
+// CheckPackage type-checks a parsed file set with no importer — enough
+// for import-free sources, which is what analyzer unit tests feed it.
+// Fixture packages with imports go through RunFixture instead.
+func CheckPackage(path string, fset *token.FileSet, files []*ast.File) (*Package, error) {
+	return check(path, fset, files, nil)
 }
 
 // WalkStack traverses root depth-first, calling fn for every node with

@@ -1,0 +1,39 @@
+package ctxflow
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+func TestFixtures(t *testing.T) {
+	// The clean fixture's carrier struct is allowlisted, mirroring how
+	// cmd/ppc-vet allowlists the engine Config and coordinator jobRun.
+	cases := []struct {
+		dir      string
+		analyzer *analysis.Analyzer
+	}{
+		{"bad", Analyzer},
+		{"clean", New([]string{"fixture/clean.carrier"})},
+	}
+	for _, c := range cases {
+		if err := analysis.RunFixture(c.analyzer, filepath.Join("testdata", "src", c.dir)); err != nil {
+			t.Errorf("fixture %s:\n%v", c.dir, err)
+		}
+	}
+}
+
+// TestDefaultFlagsCarrier proves the allowlist is what spares the clean
+// fixture's carrier: the default analyzer must flag exactly that field.
+func TestDefaultFlagsCarrier(t *testing.T) {
+	err := analysis.RunFixture(Analyzer, filepath.Join("testdata", "src", "clean"))
+	if err == nil {
+		t.Fatal("default analyzer accepted the carrier struct; allowlist is dead code")
+	}
+	want := "context.Context stored in struct field of carrier"
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Fatalf("default analyzer error = %q, want mention of %q", got, want)
+	}
+}

@@ -1,0 +1,56 @@
+// Package bad exercises every ctxflow diagnostic: context parameters
+// out of position, contexts stored in struct fields, and cancel
+// functions that are discarded or not deferred.
+package bad
+
+import (
+	"context"
+	"time"
+)
+
+// TrailingContext buries the context behind the payload.
+func TrailingContext(id int, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	return ctx.Err()
+}
+
+// MiddleContext has a context between two value parameters.
+func MiddleContext(name string, ctx context.Context, n int) { // want `context\.Context must be the first parameter`
+	_ = ctx
+}
+
+// literalCallback shows the check applies to function literals too.
+var literalCallback = func(n int, ctx context.Context) { // want `context\.Context must be the first parameter`
+	_ = ctx
+}
+
+// session stores a context for later, decoupling cancellation from the
+// call that created it.
+type session struct {
+	id  int
+	ctx context.Context // want `context\.Context stored in struct field of session`
+}
+
+// DroppedCancel throws away the cancel: the timeout timer lives until
+// the parent context dies.
+func DroppedCancel(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // want `cancel function of context\.WithTimeout discarded`
+	return ctx
+}
+
+// ForgottenCancel never calls cancel at all.
+func ForgottenCancel(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent) // want `cancel function of context\.WithCancel is not deferred in this block`
+	_ = cancel
+	return work(ctx)
+}
+
+// LateManualCancel calls cancel on the happy path only; an early return
+// would leak, so ctxflow insists on defer.
+func LateManualCancel(parent context.Context) error {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second)) // want `cancel function of context\.WithDeadline is not deferred in this block`
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

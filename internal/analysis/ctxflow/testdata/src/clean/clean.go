@@ -1,0 +1,69 @@
+// Package clean holds every context shape ctxflow must accept:
+// context-first signatures, merge helpers whose first parameter is
+// already a context, deferred cancels (including inside select and
+// switch clauses), and an allowlisted carrier struct.
+package clean
+
+import (
+	"context"
+	"time"
+)
+
+// First is the canonical signature.
+func First(ctx context.Context, id int) error {
+	return ctx.Err()
+}
+
+// NoContext has nothing to check.
+func NoContext(a, b int) int { return a + b }
+
+// Merge deliberately takes two contexts; the first one leading makes
+// the intent visible.
+func Merge(ctx, aux context.Context) context.Context {
+	if ctx.Err() != nil {
+		return aux
+	}
+	return ctx
+}
+
+// Timeout defers its cancel immediately.
+func Timeout(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// Reassigned defers the cancel after other statements in the same
+// block; defer-anywhere-after is enough, order of defers is the
+// caller's business.
+func Reassigned(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	ctx = context.WithValue(ctx, key{}, 1)
+	defer cancel()
+	return work(ctx)
+}
+
+// InClause derives and cancels inside a select clause body.
+func InClause(parent context.Context, ch chan int) error {
+	select {
+	case <-ch:
+		ctx, cancel := context.WithTimeout(parent, time.Second)
+		defer cancel()
+		return work(ctx)
+	default:
+		return nil
+	}
+}
+
+// carrier is the allowlisted exception: a named type documented to own
+// its context (mirrors the engine Config and coordinator jobRun).
+type carrier struct {
+	ctx context.Context
+}
+
+// Run consumes the carried context.
+func (c *carrier) Run() error { return work(c.ctx) }
+
+type key struct{}
+
+func work(ctx context.Context) error { return ctx.Err() }

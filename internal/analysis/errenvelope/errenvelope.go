@@ -1,0 +1,161 @@
+// Package errenvelope enforces the v1 serving API's single error shape:
+// every non-2xx HTTP response in the serving packages must carry the
+// shared ErrorEnvelope JSON body (built from *ppcsim.ConfigError and
+// friends by serve.Envelope), so clients can branch on one stable
+// {"error":{"code",...}} form no matter which handler failed.
+//
+// Within the configured package scope the analyzer reports
+//
+//   - any call to http.Error, which writes a bare text/plain body the
+//     v1 clients cannot parse;
+//   - any direct WriteHeader call with a constant 4xx/5xx status
+//     outside the named helper functions — the status must travel
+//     through a helper so the body travels with it;
+//   - any call to a helper with a constant 4xx/5xx status whose payload
+//     is not the envelope type: an error status with a non-envelope
+//     body is exactly the inconsistency the envelope exists to prevent.
+//
+// Statuses that are not compile-time constants are not checked at the
+// call site; they are the helpers' own business (WriteError maps them
+// through Envelope).
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"ppcsim/internal/analysis"
+)
+
+// Config selects where and how the envelope discipline applies.
+type Config struct {
+	// Scope lists package-path prefixes under the discipline.
+	Scope []string
+	// Transport names the raw (w, status, payload) helpers, matched by
+	// bare name within scope. Their own WriteHeader calls are exempt;
+	// in exchange, any call to them with a constant error status must
+	// pass the envelope type as the payload.
+	Transport []string
+	// Blessed names the envelope-constructing writers (they build the
+	// envelope from an error themselves, so their call sites carry no
+	// payload to check). Their bodies are exempt like Transport's.
+	Blessed []string
+	// Envelope is the name of the blessed envelope type.
+	Envelope string
+}
+
+// New returns an errenvelope analyzer for the given configuration.
+func New(cfg Config) *analysis.Analyzer {
+	transport := make(map[string]bool, len(cfg.Transport))
+	for _, h := range cfg.Transport {
+		transport[h] = true
+	}
+	exempt := make(map[string]bool, len(cfg.Transport)+len(cfg.Blessed))
+	for _, h := range append(cfg.Blessed, cfg.Transport...) {
+		exempt[h] = true
+	}
+	return &analysis.Analyzer{
+		Name: "errenvelope",
+		Doc:  "require error responses in the serving packages to use the shared JSON error envelope",
+		Run:  func(pass *analysis.Pass) { run(pass, cfg, transport, exempt) },
+	}
+}
+
+// Analyzer is the production instance covering the serving stack.
+var Analyzer = New(Config{
+	Scope:     []string{"ppcsim/internal/serve"},
+	Transport: []string{"writeJSON"},
+	Blessed:   []string{"WriteError"},
+	Envelope:  "ErrorEnvelope",
+})
+
+func run(pass *analysis.Pass, cfg Config, transport, exempt map[string]bool) {
+	if !inScope(pass.Pkg.Path(), cfg.Scope) {
+		return
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if isHTTPError(pass, call) {
+				pass.Reportf(call.Pos(), "http.Error writes a bare text body; use the %s envelope helper instead", cfg.Envelope)
+				return
+			}
+			if status, ok := writeHeaderStatus(pass, call); ok && status >= 400 && !insideHelper(stack, exempt) {
+				pass.Reportf(call.Pos(), "WriteHeader(%d) outside an envelope helper; error statuses must carry the %s body", status, cfg.Envelope)
+				return
+			}
+			if fn := analysis.Callee(pass.Info, call); fn != nil &&
+				transport[fn.Name()] && fn.Pkg() != nil && inScope(fn.Pkg().Path(), cfg.Scope) &&
+				len(call.Args) == 3 {
+				status, ok := intConst(pass, call.Args[1])
+				if ok && status >= 400 && !isEnvelope(pass, call.Args[2], cfg.Envelope) {
+					pass.Reportf(call.Pos(), "%s called with status %d but a non-%s payload; error bodies must use the envelope", fn.Name(), status, cfg.Envelope)
+				}
+			}
+		})
+	}
+}
+
+func inScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, strings.TrimSuffix(s, "/")+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// isHTTPError reports whether call is net/http.Error.
+func isHTTPError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error"
+}
+
+// writeHeaderStatus matches a WriteHeader method call with a constant
+// argument and returns the status.
+func writeHeaderStatus(pass *analysis.Pass, call *ast.CallExpr) (int64, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return 0, false
+	}
+	if selection := pass.Info.Selections[sel]; selection == nil || selection.Kind() != types.MethodVal {
+		return 0, false
+	}
+	return intConst(pass, call.Args[0])
+}
+
+// intConst evaluates e as a compile-time integer constant.
+func intConst(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// insideHelper reports whether the node under the stack is lexically
+// inside a function declaration named as a helper.
+func insideHelper(stack []ast.Node, helpers map[string]bool) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && helpers[fd.Name.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// isEnvelope reports whether e's static type is (a pointer to) the
+// named envelope type.
+func isEnvelope(pass *analysis.Pass, e ast.Expr, envelope string) bool {
+	t := pass.Info.TypeOf(e)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == envelope
+}

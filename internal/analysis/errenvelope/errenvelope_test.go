@@ -1,0 +1,47 @@
+package errenvelope
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+// fixtureAnalyzer applies the production rules to the fixture package
+// paths; cmd/ppc-vet builds the same instance for fixture mode.
+func fixtureAnalyzer() *analysis.Analyzer {
+	return New(Config{
+		Scope:     []string{"fixture/"},
+		Transport: []string{"writeJSON"},
+		Blessed:   []string{"WriteError"},
+		Envelope:  "ErrorEnvelope",
+	})
+}
+
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"bad", "clean"} {
+		if err := analysis.RunFixture(fixtureAnalyzer(), filepath.Join("testdata", "src", dir)); err != nil {
+			t.Errorf("fixture %s:\n%v", dir, err)
+		}
+	}
+}
+
+// TestOutOfScopePackageIsSkipped proves the scope gate: the bad fixture
+// is full of violations, but an analyzer scoped elsewhere must stay
+// silent on it.
+func TestOutOfScopePackageIsSkipped(t *testing.T) {
+	a := New(Config{
+		Scope:     []string{"ppcsim/internal/serve"},
+		Transport: []string{"writeJSON"},
+		Envelope:  "ErrorEnvelope",
+	})
+	if err := analysis.RunFixture(a, filepath.Join("testdata", "src", "bad")); err == nil {
+		t.Fatal("out-of-scope analyzer satisfied the bad fixture's want comments; scope gate is dead")
+	}
+	// The failure must be unmatched wants (nothing reported), not
+	// unexpected diagnostics.
+	diagsErr := analysis.RunFixture(a, filepath.Join("testdata", "src", "clean"))
+	if diagsErr != nil {
+		t.Fatalf("out-of-scope analyzer reported on the clean fixture: %v", diagsErr)
+	}
+}

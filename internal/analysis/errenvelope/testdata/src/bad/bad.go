@@ -1,0 +1,34 @@
+// Package bad exercises every errenvelope diagnostic: bare http.Error,
+// direct error-status WriteHeader outside a helper, and a helper call
+// whose error body is not the envelope.
+package bad
+
+import "net/http"
+
+// ErrorEnvelope stands in for the serving package's envelope type.
+type ErrorEnvelope struct {
+	Message string `json:"message"`
+}
+
+// BareError writes text/plain, invisible to envelope-parsing clients.
+func BareError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error writes a bare text body`
+}
+
+// DirectHeader sets an error status by hand, so no body travels with it.
+func DirectHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest) // want `WriteHeader\(400\) outside an envelope helper`
+}
+
+// NonEnvelopeBody routes an error status through the helper but with an
+// ad-hoc map body.
+func NonEnvelopeBody(w http.ResponseWriter) {
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"oops": "down"}) // want `writeJSON called with status 503 but a non-ErrorEnvelope payload`
+}
+
+// writeJSON is the blessed transport helper; its own WriteHeader call
+// is exempt, and error-status calls into it are checked at the caller.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.WriteHeader(status)
+	_ = v
+}

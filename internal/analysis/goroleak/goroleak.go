@@ -1,0 +1,213 @@
+// Package goroleak requires every goroutine launched in non-test code
+// to have a visible termination path. The serving stack's drain
+// guarantees (pool.drain, Coordinator job teardown, graceful shutdown)
+// all assume no goroutine outlives its owner, and a leaked goroutine
+// under load is a memory leak with a stack attached.
+//
+// A `go` statement is accepted when the launched function
+//
+//   - is tracked by a sync.WaitGroup (a Done() call, usually deferred,
+//     anywhere in its body), or
+//   - contains no unbounded loop at all (a one-shot goroutine
+//     terminates when its body returns; range-over-channel loops end
+//     when the channel closes; loops with a condition are bounded by
+//     it), or
+//   - exits its unbounded loops visibly: a return, or a break/goto
+//     that leaves the loop (a break inside a nested select or switch
+//     targets that statement, not the loop, and does not count).
+//
+// Function literals are analyzed directly; named functions declared in
+// the same package are analyzed through their declaration. A call into
+// another package cannot be inspected with per-package export data and
+// is skipped — the boundary packages own their own goroutines.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ppcsim/internal/analysis"
+)
+
+// Analyzer is the goroleak instance; it has no configuration.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "require a visible termination path for every launched goroutine",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	decls := declIndex(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g, decls)
+			if body == nil {
+				return true
+			}
+			if hasWaitGroupDone(pass, body) {
+				return true
+			}
+			if loop := unboundedLoop(body); loop != nil {
+				pass.Reportf(g.Pos(), "goroutine has no visible termination path: unbounded for loop at line %d never returns or breaks (track it with a WaitGroup, select on a done channel, or bound the loop)",
+					pass.Fset.Position(loop.Pos()).Line)
+			}
+			return true
+		})
+	}
+}
+
+// declIndex maps each declared function object to its body, so `go
+// name(...)` can be checked through the declaration.
+func declIndex(pass *analysis.Pass) map[types.Object]*ast.BlockStmt {
+	decls := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd.Body
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goBody resolves the body of the function a go statement launches, or
+// nil when it is declared outside this package.
+func goBody(pass *analysis.Pass, g *ast.GoStmt, decls map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := analysis.Callee(pass.Info, g.Call); fn != nil {
+		return decls[fn]
+	}
+	return nil
+}
+
+// hasWaitGroupDone reports whether body calls Done on a sync.WaitGroup
+// anywhere (including inside defers and nested literals): the goroutine
+// is tracked, and whoever Waits owns its lifetime.
+func hasWaitGroupDone(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.MethodVal {
+			return true
+		}
+		t := selection.Recv()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// unboundedLoop returns the first for loop in body that can never
+// terminate: no condition, not a range, and no return/break/goto that
+// leaves it. Nested function literals are their own scope — a loop
+// inside one belongs to whatever runs that literal.
+func unboundedLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var bad *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if loop.Cond == nil && !loopExits(loop) {
+				bad = loop
+				return false
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// loopExits reports whether loop contains a statement that leaves it: a
+// return, a goto, or a break that actually targets this loop rather
+// than a nested for, select, or switch.
+func loopExits(loop *ast.ForStmt) bool {
+	return blockExits(loop.Body.List, false)
+}
+
+// blockExits scans statements for an escape from the loop under
+// analysis. breakCaptured is true once the scan has descended into a
+// construct that consumes unlabeled break (a nested loop, select, or
+// switch) — past that point only return, goto, and labeled break count.
+func blockExits(stmts []ast.Stmt, breakCaptured bool) bool {
+	for _, s := range stmts {
+		if stmtExits(s, breakCaptured) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtExits recurses into compound statements, stopping at function
+// literals (their control flow belongs to whoever runs them).
+func stmtExits(s ast.Stmt, breakCaptured bool) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		if st.Tok == token.GOTO {
+			return true
+		}
+		return st.Tok == token.BREAK && (!breakCaptured || st.Label != nil)
+	case *ast.BlockStmt:
+		return blockExits(st.List, breakCaptured)
+	case *ast.IfStmt:
+		if blockExits(st.Body.List, breakCaptured) {
+			return true
+		}
+		if st.Else != nil {
+			return stmtExits(st.Else, breakCaptured)
+		}
+	case *ast.LabeledStmt:
+		return stmtExits(st.Stmt, breakCaptured)
+	case *ast.ForStmt:
+		return blockExits(st.Body.List, true)
+	case *ast.RangeStmt:
+		return blockExits(st.Body.List, true)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok && blockExits(comm.Body, true) {
+				return true
+			}
+		}
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && blockExits(cc.Body, true) {
+				return true
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && blockExits(cc.Body, true) {
+				return true
+			}
+		}
+	}
+	return false
+}

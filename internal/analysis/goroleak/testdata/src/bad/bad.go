@@ -1,0 +1,57 @@
+// Package bad exercises every goroleak diagnostic.
+package bad
+
+import "context"
+
+// Spin launches a busy loop with no way out.
+func Spin() {
+	go func() { // want `goroutine has no visible termination path`
+		for {
+			work()
+		}
+	}()
+}
+
+// PollForever selects inside the loop but no case ever leaves it: the
+// break targets the select, not the for.
+func PollForever(ctx context.Context, ch chan int) {
+	go func() { // want `goroutine has no visible termination path`
+		for {
+			select {
+			case <-ch:
+				work()
+			default:
+				break
+			}
+		}
+	}()
+}
+
+// spinner is a named worker with an unbounded loop.
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// SpawnNamed launches it by name; the declaration is in this package,
+// so the leak is visible.
+func SpawnNamed() {
+	go spinner() // want `goroutine has no visible termination path`
+}
+
+// InnerExitOnly breaks out of the inner loop while the outer spins on.
+func InnerExitOnly(items []int) {
+	go func() { // want `goroutine has no visible termination path`
+		for {
+			for _, it := range items {
+				if it == 0 {
+					break
+				}
+				work()
+			}
+		}
+	}()
+}
+
+func work() {}

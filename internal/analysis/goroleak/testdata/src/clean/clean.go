@@ -1,0 +1,104 @@
+// Package clean holds every goroutine shape goroleak must accept: the
+// worker-pool range loop, ctx/done-channel selects that return, a
+// WaitGroup-tracked worker, one-shot goroutines, bounded loops, and a
+// labeled break that really leaves the loop.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// RangeWorker drains a channel; close(jobs) terminates it — the
+// serve pool pattern.
+func RangeWorker(jobs chan func()) {
+	go func() {
+		for job := range jobs {
+			job()
+		}
+	}()
+}
+
+// CtxSelect returns when the context is canceled.
+func CtxSelect(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				use(v)
+			}
+		}
+	}()
+}
+
+// Tracked is owned by a WaitGroup; whoever Waits bounds its life.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+}
+
+// OneShot has no loop at all; it ends when the send completes.
+func OneShot(errCh chan error) {
+	go func() { errCh <- run() }()
+}
+
+// Bounded loops carry their condition with them.
+func Bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// CondLoop spins on a condition, which is a visible bound.
+func CondLoop(stop *bool) {
+	go func() {
+		for !*stop {
+			work()
+		}
+	}()
+}
+
+// LabeledBreak leaves the outer loop from inside the select.
+func LabeledBreak(done chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// named is a terminating worker launched by name.
+func named(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// SpawnNamed launches the named worker.
+func SpawnNamed(done chan struct{}) {
+	go named(done)
+}
+
+func work()      {}
+func run() error { return nil }
+func use(v int)  {}

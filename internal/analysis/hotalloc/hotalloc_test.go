@@ -1,0 +1,66 @@
+package hotalloc
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"bad", "clean"} {
+		if err := analysis.RunFixture(Analyzer, filepath.Join("testdata", "src", dir)); err != nil {
+			t.Errorf("fixture %s:\n%v", dir, err)
+		}
+	}
+}
+
+// analyze runs hotalloc over a single import-free source string.
+func analyze(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.CheckPackage("p", fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.RunPackage(pkg, []*analysis.Analyzer{Analyzer})
+}
+
+// An orphaned hotpath annotation protects nothing and must be loud
+// about it. (This lives here rather than in the fixture because a want
+// comment cannot share the directive's line.)
+func TestOrphanHotpathIsDiagnosed(t *testing.T) {
+	diags := analyze(t, `package p
+
+//ppcvet:hotpath
+var x int
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not attached to a function declaration") {
+		t.Fatalf("diagnostics = %v, want one orphan-directive report", diags)
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Fatalf("orphan reported at line %d, want 3 (the directive line)", diags[0].Pos.Line)
+	}
+}
+
+// A directive separated from the function by a blank line is not doc
+// and does not attach.
+func TestDetachedDirectiveIsOrphan(t *testing.T) {
+	diags := analyze(t, `package p
+
+//ppcvet:hotpath
+
+func f() {}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not attached") {
+		t.Fatalf("diagnostics = %v, want one orphan-directive report", diags)
+	}
+}

@@ -6,35 +6,89 @@ import (
 	"strings"
 )
 
-// Suppression comments have the form
+// The analyzers share one directive vocabulary, all under the
+// //ppcvet: comment prefix:
 //
-//	//ppcvet:ignore <reason>
+//	//ppcvet:ignore <reason>     suppress every finding on this line and
+//	                             the next; the reason is mandatory
+//	//ppcvet:guardedby <field>   (struct fields) the field may only be
+//	                             accessed holding the named mutex;
+//	                             consumed by lockguard
+//	//ppcvet:hotpath             (functions) allocation discipline
+//	                             applies inside; consumed by hotalloc
 //
-// and silence every analyzer finding on the comment's own line and the
-// line below it — covering both a trailing comment on the offending line
-// and a standalone comment directly above it. The reason is mandatory: a
-// bare //ppcvet:ignore (or any other //ppcvet: directive) is itself
-// reported as a diagnostic from the pseudo-analyzer "ppcvet", and does
-// not suppress anything.
+// An ignore directive silences every analyzer finding on the comment's
+// own line and the line below it — covering both a trailing comment on
+// the offending line and a standalone comment directly above it. A bare
+// //ppcvet:ignore, a bare //ppcvet:guardedby, or any unrecognized
+// //ppcvet: directive is itself reported as a diagnostic from the
+// pseudo-analyzer "ppcvet", and does not suppress anything. Directives
+// are line comments only: a /* block comment */ is never a directive,
+// so commented-out code cannot smuggle one in.
 const (
-	directivePrefix = "//ppcvet:"
-	ignoreDirective = "//ppcvet:ignore"
+	directivePrefix    = "//ppcvet:"
+	ignoreDirective    = "//ppcvet:ignore"
+	guardedByDirective = "//ppcvet:guardedby"
+	hotPathDirective   = "//ppcvet:hotpath"
 )
 
-// ignores records, per filename, the lines carrying a valid ignore
-// directive.
-type ignores map[string]map[int]bool
-
-func (ig ignores) suppresses(d Diagnostic) bool {
-	lines := ig[d.Pos.Filename]
-	return lines[d.Pos.Line] || lines[d.Pos.Line-1]
+// Suppression is one valid //ppcvet:ignore directive. Used reports
+// whether it actually suppressed a diagnostic in the run that collected
+// it — a suppression that no longer fires is stale and should be
+// deleted (see ppc-vet -suppressions).
+type Suppression struct {
+	Pos    token.Position
+	Reason string
+	Used   bool
 }
 
-// ignoreIndex scans the comments of files for ppcvet directives. It
-// returns the suppression index and a diagnostic for every malformed
-// directive.
-func ignoreIndex(fset *token.FileSet, files []*ast.File) (ignores, []Diagnostic) {
-	idx := ignores{}
+// Directive is one non-ignore annotation (guardedby, hotpath), handed
+// to the analyzer that consumes it.
+type Directive struct {
+	Pos  token.Position
+	Name string // "guardedby" or "hotpath"
+	Arg  string // mutex field name for guardedby, empty for hotpath
+}
+
+// ignores indexes valid ignore directives by filename and line, and
+// owns the Suppression records so matches can be marked used.
+type ignores struct {
+	byLine map[string]map[int][]int // filename → line → suppression indices
+	list   []Suppression
+}
+
+// suppresses reports whether d is covered by a directive on its own
+// line or the line above, marking every covering directive as used.
+func (ig *ignores) suppresses(d Diagnostic) bool {
+	lines := ig.byLine[d.Pos.Filename]
+	hit := false
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, i := range lines[line] {
+			ig.list[i].Used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// directiveArg splits a directive comment into (argument, ok): ok is
+// false when text does not carry the directive, and the argument is the
+// trimmed text after it ("" for a bare directive).
+func directiveArg(text, directive string) (string, bool) {
+	rest, found := strings.CutPrefix(text, directive)
+	if !found || (rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t")) {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// scanDirectives walks the comments of files once, classifying every
+// //ppcvet: directive: ignore directives build the suppression index,
+// guardedby/hotpath are collected for their analyzers, and anything
+// malformed becomes a diagnostic.
+func scanDirectives(fset *token.FileSet, files []*ast.File) (*ignores, []Directive, []Diagnostic) {
+	idx := &ignores{byLine: map[string]map[int][]int{}}
+	var directives []Directive
 	var malformed []Diagnostic
 	for _, f := range files {
 		for _, group := range f.Comments {
@@ -43,31 +97,63 @@ func ignoreIndex(fset *token.FileSet, files []*ast.File) (ignores, []Diagnostic)
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest, isIgnore := strings.CutPrefix(c.Text, ignoreDirective)
-				if !isIgnore || (rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t")) {
-					malformed = append(malformed, Diagnostic{
-						Analyzer: "ppcvet",
-						Pos:      pos,
-						Message:  "unknown ppcvet directive; only //ppcvet:ignore <reason> is recognized",
-					})
+				if reason, ok := directiveArg(c.Text, ignoreDirective); ok {
+					if reason == "" {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ppcvet",
+							Pos:      pos,
+							Message:  "//ppcvet:ignore requires a reason",
+						})
+						continue
+					}
+					lines := idx.byLine[pos.Filename]
+					if lines == nil {
+						lines = map[int][]int{}
+						idx.byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], len(idx.list))
+					idx.list = append(idx.list, Suppression{Pos: pos, Reason: reason})
 					continue
 				}
-				if strings.TrimSpace(rest) == "" {
-					malformed = append(malformed, Diagnostic{
-						Analyzer: "ppcvet",
-						Pos:      pos,
-						Message:  "//ppcvet:ignore requires a reason",
-					})
+				if field, ok := directiveArg(c.Text, guardedByDirective); ok {
+					if field == "" {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ppcvet",
+							Pos:      pos,
+							Message:  "//ppcvet:guardedby requires a mutex field name",
+						})
+						continue
+					}
+					directives = append(directives, Directive{Pos: pos, Name: "guardedby", Arg: field})
 					continue
 				}
-				lines := idx[pos.Filename]
-				if lines == nil {
-					lines = map[int]bool{}
-					idx[pos.Filename] = lines
+				if arg, ok := directiveArg(c.Text, hotPathDirective); ok {
+					if arg != "" {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "ppcvet",
+							Pos:      pos,
+							Message:  "//ppcvet:hotpath takes no argument",
+						})
+						continue
+					}
+					directives = append(directives, Directive{Pos: pos, Name: "hotpath"})
+					continue
 				}
-				lines[pos.Line] = true
+				malformed = append(malformed, Diagnostic{
+					Analyzer: "ppcvet",
+					Pos:      pos,
+					Message:  "unknown ppcvet directive; recognized: //ppcvet:ignore <reason>, //ppcvet:guardedby <field>, //ppcvet:hotpath",
+				})
 			}
 		}
 	}
-	return idx, malformed
+	return idx, directives, malformed
+}
+
+// PackageDirectives returns the guardedby and hotpath directives of
+// files, for the analyzers that consume them (lockguard, hotalloc).
+// Malformed directives are not included — RunPackage reports those.
+func PackageDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	_, directives, _ := scanDirectives(fset, files)
+	return directives
 }

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// reportStrings is a second toy analyzer so tests can aim two analyzers
+// at one site.
+var reportStrings = &Analyzer{
+	Name: "strs",
+	Doc:  "flag string literals",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					pass.Reportf(lit.Pos(), "string literal %s", lit.Value)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// One finding covered by two directives — a standalone ignore above and
+// a trailing ignore on the line — must mark both used: neither is stale
+// while the finding exists.
+func TestStackedDirectivesBothMarkUsed(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//ppcvet:ignore belt
+var a = 1 //ppcvet:ignore suspenders
+`)
+	res := AnalyzePackage(pkg, []*Analyzer{reportInts})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("finding not suppressed: %v", res.Diagnostics)
+	}
+	if len(res.Suppressions) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %+v", len(res.Suppressions), res.Suppressions)
+	}
+	for _, s := range res.Suppressions {
+		if !s.Used {
+			t.Errorf("suppression %q at line %d not marked used", s.Reason, s.Pos.Line)
+		}
+	}
+}
+
+// Block comments are never directives: commented-out code cannot
+// smuggle in a suppression, and a ppcvet-looking block comment is not
+// reported as malformed either.
+func TestBlockCommentIsNotADirective(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+/*ppcvet:ignore hidden in a block comment*/
+var a = 1
+var b = 2 /* ppcvet:ignore also not a directive */
+`)
+	res := AnalyzePackage(pkg, []*Analyzer{reportInts})
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("block comments must not suppress: got %v, want both literals flagged", res.Diagnostics)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == "ppcvet" {
+			t.Errorf("block comment misread as a malformed directive: %v", d)
+		}
+	}
+	if len(res.Suppressions) != 0 {
+		t.Errorf("block comments recorded as suppressions: %+v", res.Suppressions)
+	}
+}
+
+// A trailing directive covers its own line; a standalone one covers the
+// line below — and neither reaches any further.
+func TestDirectiveCoverageAboveVsTrailing(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+var a = 1 //ppcvet:ignore trailing covers its own line
+
+//ppcvet:ignore standalone covers the next line
+var b = 2
+var c = 3
+`)
+	res := AnalyzePackage(pkg, []*Analyzer{reportInts})
+	if len(res.Diagnostics) != 1 || !strings.Contains(res.Diagnostics[0].Message, "3") {
+		t.Fatalf("want only literal 3 reported, got %v", res.Diagnostics)
+	}
+	if len(res.Suppressions) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(res.Suppressions))
+	}
+	for _, s := range res.Suppressions {
+		if !s.Used {
+			t.Errorf("suppression %q not marked used", s.Reason)
+		}
+	}
+}
+
+// One directive suppresses every analyzer reporting on the site — and a
+// single hit from either analyzer is enough to keep it from going
+// stale.
+func TestOneDirectiveSuppressesTwoAnalyzers(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+//ppcvet:ignore both analyzers fire here
+var a, b = 1, "x"
+var c, d = 2, "y"
+`)
+	res := AnalyzePackage(pkg, []*Analyzer{reportInts, reportStrings})
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("want the two unsuppressed findings on the last line, got %v", res.Diagnostics)
+	}
+	for _, d := range res.Diagnostics {
+		if d.Pos.Line != 5 {
+			t.Errorf("suppressed-line finding leaked: %v", d)
+		}
+	}
+	if len(res.Suppressions) != 1 || !res.Suppressions[0].Used {
+		t.Fatalf("directive covering two analyzers must be one used suppression: %+v", res.Suppressions)
+	}
+}
+
+// A directive whose line produces no findings is recorded but not used
+// — the raw material for the -suppressions stale audit.
+func TestUnusedSuppressionIsStale(t *testing.T) {
+	pkg := parsePkg(t, `package p
+
+var a = 1 //ppcvet:ignore nothing here anymore... wait, the literal
+var b = "quiet" //ppcvet:ignore strings are not flagged by ints
+`)
+	res := AnalyzePackage(pkg, []*Analyzer{reportInts})
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", res.Diagnostics)
+	}
+	if len(res.Suppressions) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(res.Suppressions))
+	}
+	byLine := map[int]bool{}
+	for _, s := range res.Suppressions {
+		byLine[s.Pos.Line] = s.Used
+	}
+	if !byLine[3] {
+		t.Error("line 3 suppression covers a real finding; must be used")
+	}
+	if byLine[4] {
+		t.Error("line 4 suppression covers nothing; must be stale")
+	}
+}
+
+// Per-analyzer wall time is recorded for every analyzer that ran, even
+// when it reports nothing.
+func TestAnalyzePackageRecordsTimings(t *testing.T) {
+	pkg := parsePkg(t, "package p\n\nvar a = 1\n")
+	res := AnalyzePackage(pkg, []*Analyzer{reportInts, reportStrings})
+	for _, name := range []string{"ints", "strs"} {
+		if _, ok := res.Timings[name]; !ok {
+			t.Errorf("no timing recorded for %s: %v", name, res.Timings)
+		}
+	}
+}
+
+// Vet fans packages across workers but must produce byte-identical
+// ordering to a serial run: diagnostics in go-list package order,
+// position-sorted within each package.
+func TestVetDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go-list round trips in -short mode")
+	}
+	serial, err := Vet("..", []string{"ppcsim/internal/analysis/..."}, []*Analyzer{reportInts}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Vet("..", []string{"ppcsim/internal/analysis/..."}, []*Analyzer{reportInts}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Diagnostics) == 0 {
+		t.Fatal("toy analyzer found no integer literals in the analysis tree; test is vacuous")
+	}
+	if len(serial.Diagnostics) != len(parallel.Diagnostics) {
+		t.Fatalf("serial %d diagnostics, parallel %d", len(serial.Diagnostics), len(parallel.Diagnostics))
+	}
+	for i := range serial.Diagnostics {
+		if serial.Diagnostics[i].String() != parallel.Diagnostics[i].String() {
+			t.Fatalf("diagnostic %d differs:\nserial:   %s\nparallel: %s",
+				i, serial.Diagnostics[i], parallel.Diagnostics[i])
+		}
+	}
+	if serial.Packages != parallel.Packages {
+		t.Errorf("package counts differ: %d vs %d", serial.Packages, parallel.Packages)
+	}
+}

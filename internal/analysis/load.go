@@ -116,28 +116,39 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
 	var pkgs []*Package
 	for _, t := range targets {
 		if len(t.GoFiles) == 0 {
 			continue
 		}
-		var files []*ast.File
-		for _, name := range t.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %v", name, err)
-			}
-			files = append(files, f)
-		}
-		pkg, err := check(t.ImportPath, fset, files, imp)
+		pkg, err := loadTarget(t, exports)
 		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// loadTarget parses and type-checks one listed package against the
+// shared export map. Each target gets its own FileSet and importer, so
+// loadTarget calls for different targets are safe to run concurrently
+// (the export map is read-only by then).
+func loadTarget(t listedPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := check(t.ImportPath, fset, files, exportImporter(fset, exports))
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+	}
+	return pkg, nil
 }
 
 // check type-checks one package's files and bundles the result.

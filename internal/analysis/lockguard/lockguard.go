@@ -1,0 +1,268 @@
+// Package lockguard enforces mutex discipline on annotated shared
+// state: a struct field carrying a //ppcvet:guardedby <mutex> directive
+// (trailing on the field's line or on the line above) may only be
+// accessed while the named sync.Mutex or sync.RWMutex of the same
+// struct is held. The analysis is lexical, in the style of obsguard: an
+// access through base expression B to a field guarded by mutex m is
+// accepted when an earlier statement in an enclosing block is
+// `B.m.Lock()` or `B.m.RLock()` with no later `B.m.Unlock()`/`RUnlock()`
+// before the access at that level. `defer B.m.Unlock()` does not
+// release the lexical lock, so the idiomatic Lock-then-defer pair reads
+// as held for the rest of the block.
+//
+// Two deliberate allowances keep the check aligned with how the serving
+// stack is actually written:
+//
+//   - Crossing function-literal boundaries: a closure created while the
+//     lock is held is assumed to run under it. This mirrors obsguard and
+//     matches the scheduler's emit-under-lock pattern; a closure handed
+//     to `go` escapes this assumption, which is goroleak's concern.
+//   - Methods whose name ends in "Locked" (the repository's convention
+//     for "caller holds the lock") may access their own receiver's
+//     guarded fields freely; calling such a method without the lock is
+//     invisible to a lexical analyzer and remains a code-review concern.
+//
+// Struct-literal keys are not accesses: constructors initialize guarded
+// fields before the value is shared, and flagging them would force
+// pointless locking of unreachable state.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ppcsim/internal/analysis"
+)
+
+// Analyzer is the lockguard instance; it has no configuration.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "require //ppcvet:guardedby fields to be accessed only under their mutex",
+	Run:  run,
+}
+
+// guardInfo records one guarded field: the mutex field's name and the
+// directive that declared the relationship.
+type guardInfo struct {
+	mutex     string
+	directive token.Position
+}
+
+func run(pass *analysis.Pass) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return
+			}
+			info, isGuarded := guarded[selection.Obj()]
+			if !isGuarded {
+				return
+			}
+			base := types.ExprString(sel.X)
+			if lockedMethodOwns(stack, base) {
+				return
+			}
+			if lockHeld(stack, n, base+"."+info.mutex) {
+				return
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but accessed without holding %s.%s",
+				sel.Sel.Name, info.mutex, base, info.mutex)
+		})
+	}
+}
+
+// collectGuarded resolves every guardedby directive to the field object
+// it annotates, validating that the named mutex is a sync.Mutex or
+// sync.RWMutex field of the same struct. Unattached or invalid
+// directives are reported.
+func collectGuarded(pass *analysis.Pass) map[types.Object]guardInfo {
+	guarded := map[types.Object]guardInfo{}
+	for _, f := range pass.Files {
+		// Directives in this file, keyed by line, consumed as matched.
+		directives := map[int]analysis.Directive{}
+		for _, d := range analysis.PackageDirectives(pass.Fset, []*ast.File{f}) {
+			if d.Name == "guardedby" {
+				directives[d.Pos.Line] = d
+			}
+		}
+		if len(directives) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				line := pass.Fset.Position(field.Pos()).Line
+				d, ok := directives[line]
+				if !ok {
+					d, ok = directives[line-1]
+					if !ok {
+						continue
+					}
+					delete(directives, line-1)
+				} else {
+					delete(directives, line)
+				}
+				if !mutexField(pass, st, d.Arg) {
+					pass.Reportf(field.Pos(), "//ppcvet:guardedby names %q, which is not a sync.Mutex or sync.RWMutex field of this struct", d.Arg)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = guardInfo{mutex: d.Arg, directive: d.Pos}
+					}
+				}
+			}
+			return true
+		})
+		// Whatever is left never matched a struct field; report in line
+		// order so the output does not depend on map iteration.
+		var orphans []int
+		for line := range directives {
+			orphans = append(orphans, line)
+		}
+		sort.Ints(orphans)
+		for _, line := range orphans {
+			pass.Reportf(filePos(pass, f, directives[line].Pos), "//ppcvet:guardedby is not attached to a struct field (it must trail the field's line or sit on the line above)")
+		}
+	}
+	return guarded
+}
+
+// filePos converts a resolved position back to a token.Pos inside f, so
+// orphan-directive diagnostics carry their own location.
+func filePos(pass *analysis.Pass, f *ast.File, pos token.Position) token.Pos {
+	tf := pass.Fset.File(f.Pos())
+	if tf == nil || pos.Line > tf.LineCount() {
+		return f.Pos()
+	}
+	return tf.LineStart(pos.Line)
+}
+
+// mutexField reports whether st has a field named name whose type is
+// sync.Mutex or sync.RWMutex (possibly a pointer to one).
+func mutexField(pass *analysis.Pass, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			t := pass.Info.TypeOf(field.Type)
+			if t == nil {
+				return false
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+				return false
+			}
+			return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+		}
+	}
+	return false
+}
+
+// lockedMethodOwns reports whether the access sits inside a method
+// whose name ends in "Locked" and whose receiver is the access base —
+// the convention for "caller already holds my lock".
+func lockedMethodOwns(stack []ast.Node, base string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		decl, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if !strings.HasSuffix(decl.Name.Name, "Locked") {
+			return false
+		}
+		if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+			return false
+		}
+		return decl.Recv.List[0].Names[0].Name == base
+	}
+	return false
+}
+
+// lockHeld walks the ancestor stack looking for an enclosing block in
+// which guard (e.g. "c.mu") was locked by an earlier statement and not
+// unlocked again before the access. Function-literal boundaries are
+// crossed deliberately (see the package comment).
+func lockHeld(stack []ast.Node, node ast.Node, guard string) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.BlockStmt:
+			if heldBefore(parent.List, child, guard) {
+				return true
+			}
+		case *ast.CaseClause:
+			if heldBefore(parent.Body, child, guard) {
+				return true
+			}
+		case *ast.CommClause:
+			if heldBefore(parent.Body, child, guard) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// heldBefore scans the statements preceding child, tracking the
+// lexical lock state of guard: Lock/RLock acquire, Unlock/RUnlock
+// release, deferred unlocks are skipped (they run at function exit).
+func heldBefore(list []ast.Stmt, child ast.Node, guard string) bool {
+	held := false
+	for _, stmt := range list {
+		if stmt == child {
+			break
+		}
+		switch lockCall(stmt, guard) {
+		case "Lock", "RLock":
+			held = true
+		case "Unlock", "RUnlock":
+			held = false
+		}
+	}
+	return held
+}
+
+// lockCall returns the mutex method name when stmt is a plain
+// `<guard>.<method>()` call statement, and "" otherwise.
+func lockCall(stmt ast.Stmt, guard string) string {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		if types.ExprString(sel.X) == guard {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,85 @@
+package lockguard
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppcsim/internal/analysis"
+)
+
+func TestFixtures(t *testing.T) {
+	for _, dir := range []string{"bad", "clean"} {
+		if err := analysis.RunFixture(Analyzer, filepath.Join("testdata", "src", dir)); err != nil {
+			t.Errorf("fixture %s:\n%v", dir, err)
+		}
+	}
+}
+
+// analyze type-checks one import-free source string and runs lockguard.
+func analyze(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := analysis.CheckPackage("p", fset, []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analysis.RunPackage(pkg, []*analysis.Analyzer{Analyzer})
+}
+
+func TestGuardMustBeMutexField(t *testing.T) {
+	diags := analyze(t, `package p
+
+type s struct {
+	n     int
+	state int //ppcvet:guardedby n
+}
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not a sync.Mutex or sync.RWMutex field") {
+		t.Errorf("non-mutex guard not diagnosed: %v", diags)
+	}
+}
+
+func TestOrphanDirectiveIsDiagnosed(t *testing.T) {
+	diags := analyze(t, `package p
+
+func f() {
+	//ppcvet:guardedby mu
+	_ = 0
+}
+`)
+	// The directive's covered lines (its own and the next) hold no
+	// struct field, so it must be reported as unattached. The statement
+	// line below must not accidentally consume it.
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not attached to a struct field") {
+		t.Errorf("orphan directive not diagnosed: %v", diags)
+	}
+	if diags[0].Pos.Line != 4 {
+		t.Errorf("orphan diagnostic at line %d, want the directive's line 4", diags[0].Pos.Line)
+	}
+}
+
+func TestBareGuardedByIsMalformed(t *testing.T) {
+	diags := analyze(t, `package p
+
+type s struct {
+	n int //ppcvet:guardedby
+}
+`)
+	var sawMalformed bool
+	for _, d := range diags {
+		if d.Analyzer == "ppcvet" && strings.Contains(d.Message, "requires a mutex field name") {
+			sawMalformed = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("bare guardedby not diagnosed: %v", diags)
+	}
+}

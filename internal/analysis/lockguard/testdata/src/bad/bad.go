@@ -1,0 +1,61 @@
+// Package bad exercises every lockguard diagnostic.
+package bad
+
+import "sync"
+
+// registry mirrors the serving stack's mutex-plus-state shape.
+type registry struct {
+	mu sync.Mutex
+	n  int //ppcvet:guardedby mu
+
+	//ppcvet:guardedby mu
+	entries map[string]int
+
+	other sync.Mutex
+}
+
+// Unlocked accesses guarded state with no lock anywhere in sight.
+func (r *registry) Unlocked() int {
+	return r.n // want `field n is guarded by mu but accessed without holding r\.mu`
+}
+
+// AfterUnlock releases the mutex and keeps going.
+func (r *registry) AfterUnlock() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	r.n++ // want `field n is guarded by mu but accessed without holding r\.mu`
+}
+
+// WrongMutex holds a different lock of the same struct.
+func (r *registry) WrongMutex() {
+	r.other.Lock()
+	defer r.other.Unlock()
+	r.entries["x"]++ // want `field entries is guarded by mu but accessed without holding r\.mu`
+}
+
+// WrongReceiver locks one instance and touches another.
+func (r *registry) WrongReceiver(s *registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.n++ // want `field n is guarded by mu but accessed without holding s\.mu`
+}
+
+// NotLockedSuffix is a helper without the Locked naming convention, so
+// its unguarded receiver access is a finding, not an assumption.
+func (r *registry) insert(key string) {
+	r.entries[key] = 1 // want `field entries is guarded by mu but accessed without holding r\.mu`
+}
+
+// LockInBranch only acquires on one path.
+func (r *registry) LockInBranch(cond bool) {
+	if cond {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	r.n++ // want `field n is guarded by mu but accessed without holding r\.mu`
+}
+
+// Malformed directives (a guard that is not a mutex field, a directive
+// attached to nothing) report on the directive's own line, which cannot
+// also carry a want comment — lockguard_test.go covers them directly.

@@ -1,0 +1,97 @@
+// Package clean holds every guarded-access pattern lockguard must
+// accept: Lock-then-defer, RLock for readers, mid-block unlock/relock,
+// closures created under the lock, the *Locked caller-holds convention,
+// and construction through composite literals.
+package clean
+
+import "sync"
+
+type registry struct {
+	mu sync.RWMutex
+	n  int //ppcvet:guardedby mu
+
+	//ppcvet:guardedby mu
+	entries map[string]int
+}
+
+// newRegistry initializes guarded fields through the composite literal,
+// before the value can be shared.
+func newRegistry() *registry {
+	return &registry{entries: make(map[string]int)}
+}
+
+// Add is the idiomatic Lock-then-defer pair.
+func (r *registry) Add(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	r.entries[key]++
+}
+
+// Get holds the read lock.
+func (r *registry) Get(key string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[key]
+}
+
+// Relock releases mid-function and reacquires before touching state.
+func (r *registry) Relock() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	work()
+	r.mu.Lock()
+	r.n--
+	r.mu.Unlock()
+}
+
+// Nested reaches guarded state from inside branches and loops opened
+// after the lock was taken.
+func (r *registry) Nested(keys []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range keys {
+		if k != "" {
+			r.entries[k]++
+		}
+	}
+}
+
+// Closure captures guarded state in a function literal created under
+// the lock (the emit-under-lock pattern).
+func (r *registry) Closure() func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inc := func() { r.n++ }
+	inc()
+	return inc
+}
+
+// bumpLocked follows the caller-holds-the-lock naming convention.
+func (r *registry) bumpLocked(key string) {
+	r.n++
+	r.entries[key]++
+}
+
+// Bump drives the Locked helper under its lock.
+func (r *registry) Bump(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bumpLocked(key)
+}
+
+// Switch reaches guarded state from a case body, the lock having been
+// taken at function level.
+func (r *registry) Switch(mode int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch mode {
+	case 0:
+		r.n = 0
+	default:
+		r.n++
+	}
+}
+
+func work() {}

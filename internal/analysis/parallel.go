@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// VetResult aggregates a multi-package analysis run. Diagnostics are in
+// go-list package order (position-sorted within each package) and
+// Suppressions are position-sorted, so the output is deterministic
+// regardless of how many workers analyzed the tree.
+type VetResult struct {
+	Diagnostics  []Diagnostic
+	Suppressions []Suppression
+	Timings      map[string]time.Duration // analyzer name → summed wall time
+	Packages     int
+}
+
+// Vet lists patterns with the go command, then fans the per-package
+// parse → type-check → analyze pipeline across workers goroutines
+// (bounded at GOMAXPROCS; values < 1 select it). The go command is
+// still invoked once up front — listing and export-data compilation
+// dominate a cold run and parallelize internally — but the pure-Go tail
+// (parsing, type-checking, analyzer passes over ~15 packages) runs
+// concurrently, each package on its own FileSet and importer.
+func Vet(dir string, patterns []string, analyzers []*Analyzer, workers int) (VetResult, error) {
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return VetResult{}, err
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return VetResult{}, err
+	}
+	loadable := targets[:0]
+	for _, t := range targets {
+		if len(t.GoFiles) > 0 {
+			loadable = append(loadable, t)
+		}
+	}
+	if workers < 1 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(loadable) && len(loadable) > 0 {
+		workers = len(loadable)
+	}
+
+	results := make([]PackageResult, len(loadable))
+	errs := make([]error, len(loadable))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pkg, err := loadTarget(loadable[i], exports)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = AnalyzePackage(pkg, analyzers)
+			}
+		}()
+	}
+	for i := range loadable {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return VetResult{}, err
+	}
+	out := VetResult{Timings: make(map[string]time.Duration, len(analyzers)), Packages: len(loadable)}
+	for _, r := range results {
+		out.Diagnostics = append(out.Diagnostics, r.Diagnostics...)
+		out.Suppressions = append(out.Suppressions, r.Suppressions...)
+		for name, d := range r.Timings {
+			out.Timings[name] += d
+		}
+	}
+	sort.Slice(out.Suppressions, func(i, j int) bool {
+		a, b := out.Suppressions[i], out.Suppressions[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out, nil
+}

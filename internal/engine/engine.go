@@ -831,6 +831,8 @@ func wireRun(s *State, cfg Config) {
 // runLoop drives the event loop to completion and assembles the Result.
 // The State must be fully wired; streaming runs must have primed the
 // reference window with fill(0) already.
+//
+//ppcvet:hotpath
 func runLoop(s *State, cfg Config) (Result, error) {
 	// pol is the policy the run loop drives; observed runs interpose the
 	// batch tracker so BatchFormed events bracket each policy invocation.

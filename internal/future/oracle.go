@@ -158,6 +158,8 @@ func (o *Oracle) Block(i int) layout.BlockID {
 
 // Advance moves the cursor forward to position c (monotonic). References
 // that the cursor passes stop counting as "next uses".
+//
+//ppcvet:hotpath
 func (o *Oracle) Advance(c int) {
 	if c < o.cursor {
 		panic("future: oracle cursor moved backwards")

@@ -14,8 +14,10 @@ import (
 type resultCache struct {
 	mu  sync.Mutex
 	max int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	//ppcvet:guardedby mu
+	ll *list.List // front = most recently used
+	//ppcvet:guardedby mu
+	m map[string]*list.Element
 }
 
 type cacheEntry struct {

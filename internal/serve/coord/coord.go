@@ -207,14 +207,16 @@ type jobRun struct {
 	c   *Coordinator
 	ctx context.Context
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	queues    map[string][]*cellTask
+	mu   sync.Mutex
+	cond *sync.Cond
+	//ppcvet:guardedby mu
+	queues map[string][]*cellTask
+	//ppcvet:guardedby mu
 	dead      map[string]bool
-	remaining int
-	retried   int
-	closed    bool
-	aborted   bool
+	remaining int  //ppcvet:guardedby mu
+	retried   int  //ppcvet:guardedby mu
+	closed    bool //ppcvet:guardedby mu
+	aborted   bool //ppcvet:guardedby mu
 	results   chan record
 	wg        sync.WaitGroup
 }

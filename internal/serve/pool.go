@@ -22,7 +22,7 @@ type pool struct {
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
-	closed bool
+	closed bool //ppcvet:guardedby mu
 }
 
 // newPool starts workers goroutines consuming a queue of depth slots.

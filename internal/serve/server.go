@@ -75,7 +75,7 @@ type Server struct {
 	mux   *http.ServeMux
 
 	traceMu sync.Mutex
-	traces  map[string]*ppcsim.Trace
+	traces  map[string]*ppcsim.Trace //ppcvet:guardedby traceMu
 
 	draining atomic.Bool
 
@@ -434,7 +434,10 @@ func (s *Server) Snapshot() Stats {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		// The 503 here is a health probe's "take me out of rotation",
+		// not a v1 API error: load balancers read the status document,
+		// not the error envelope.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"}) //ppcvet:ignore health draining body is a status document for probes, not a v1 API error
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

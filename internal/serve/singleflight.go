@@ -11,7 +11,7 @@ import "sync"
 // repeats).
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[string]*flight
+	m  map[string]*flight //ppcvet:guardedby mu
 }
 
 type flight struct {

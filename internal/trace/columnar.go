@@ -283,6 +283,8 @@ func readColumnarHeader(br *bufio.Reader) (Meta, error) {
 // decodeFrame reads one frame from br into out (reusing its backing
 // array) and returns the decoded references plus the payload scratch
 // buffer. remaining bounds the legal frame size; nBlocks bounds block IDs.
+//
+//ppcvet:hotpath
 func decodeFrame(br *bufio.Reader, nBlocks int, remaining int64, payload []byte, out []Ref) ([]Ref, []byte, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
