@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppcsim/internal/load"
+)
+
+// TestRunRampEmbedded exercises the default path end to end: flag-built
+// ramp spec, embedded server, table on stderr, report path on stdout,
+// and a report that round-trips through the strict parser.
+func TestRunRampEmbedded(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "LOAD_0.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-mode", "ramp",
+		"-start-rps", "40", "-step-rps", "40", "-max-rps", "80", "-step-seconds", "0.2",
+		"-cold-refs", "16", "-workers", "2", "-queue", "8",
+		"-o", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != out {
+		t.Fatalf("stdout = %q, want the report path %q", got, out)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load.ParseReport(raw)
+	if err != nil {
+		t.Fatalf("emitted report does not round-trip: %v", err)
+	}
+	if rep.Target != "embedded" || rep.Spec.Mode != "ramp" || len(rep.Phases) == 0 {
+		t.Fatalf("report = target %q mode %q phases %d", rep.Target, rep.Spec.Mode, len(rep.Phases))
+	}
+	if rep.Saturation == nil {
+		t.Fatal("ramp report carries no saturation section")
+	}
+	for _, want := range []string{"ramp@40rps", "consistency:", "embedded server"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("stderr table missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestRunSpecFile runs from a -spec document (the checked-in-baseline
+// path) and honors -mode-independent spec fields like skip_prime.
+func TestRunSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	doc := `{"seed":3,"mode":"sweep","cold_refs":16,"skip_prime":true,"sweep":{"rps":[40],"seconds_per_point":0.2}}`
+	if err := os.WriteFile(specPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-spec", specPath, "-workers", "2", "-o", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load.ParseReport(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Spec.SkipPrime || rep.Spec.Seed != 3 {
+		t.Fatalf("spec not embedded verbatim: %+v", rep.Spec)
+	}
+	// skip_prime means the warm-up line must not appear.
+	if strings.Contains(stderr.String(), "primed") {
+		t.Fatalf("skip_prime ran the warm-up pass:\n%s", stderr.String())
+	}
+}
+
+// TestRunCheck pins the -check round-trip gate: a valid report prints a
+// one-line summary; a corrupted one fails naming the file.
+func TestRunCheck(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "LOAD_0.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-mode", "sweep", "-rps-grid", "40", "-seconds-per-point", "0.2",
+		"-cold-refs", "16", "-workers", "2", "-o", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-check", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("-check on a fresh report: %v", err)
+	}
+	if got := stdout.String(); !strings.Contains(got, "valid v1 report") || !strings.Contains(got, "target embedded") {
+		t.Fatalf("-check output = %q", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":1,"bogus":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-check", bad}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("-check on a corrupt report: err = %v", err)
+	}
+}
+
+// TestRunErrors covers the flag/spec failure paths.
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	for name, args := range map[string][]string{
+		"unknown flag":  {"-frobnicate"},
+		"bad mode":      {"-mode", "stampede"},
+		"bad rps grid":  {"-mode", "sweep", "-rps-grid", "10,x"},
+		"missing spec":  {"-spec", filepath.Join(t.TempDir(), "absent.json")},
+		"ramp max<min":  {"-mode", "ramp", "-start-rps", "100", "-max-rps", "10"},
+		"negative step": {"-mode", "ramp", "-step-rps", "-5"},
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("%s: run(%v) succeeded", name, args)
+		}
+	}
+}
+
+// TestRunBadSpecFile: an invalid spec document names its field.
+func TestRunBadSpecFile(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"mode":"ramp","turbo":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-spec", specPath}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "LoadSpec") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestParseFloats pins the grid parser.
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats(" 1, 2.5 ,30 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2.5 || got[2] != 30 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseFloats("1,,2"); err == nil {
+		t.Fatal("empty element accepted")
+	}
+}

@@ -56,11 +56,13 @@ import (
 // nil-filtered, so per-call guards there would be dead code.
 const obsguardSkipDefault = "ppcsim/internal/obs"
 
-// detrandExemptDefault excludes the HTTP serving layer: it measures real
-// request latency and deadlines, so wall-clock reads there are the
-// point, not a determinism leak. The simulator itself (everything the
-// serving layer calls into) remains covered.
-const detrandExemptDefault = "ppcsim/internal/serve,ppcsim/cmd/ppc-serve"
+// detrandExemptDefault excludes the HTTP serving layer and its load
+// harness: both measure real request latency and deadlines, so
+// wall-clock reads there are the point, not a determinism leak (the
+// harness's request stream is still seeded; only its schedule walks the
+// wall clock). The simulator itself (everything the serving layer calls
+// into) remains covered.
+const detrandExemptDefault = "ppcsim/internal/serve,ppcsim/cmd/ppc-serve,ppcsim/internal/load,ppcsim/cmd/ppc-load"
 
 // ctxflowAllowDefault names the two struct types with a documented
 // reason to carry a context: the engine Config threads cooperative

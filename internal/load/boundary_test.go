@@ -1,0 +1,88 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ppcsim/internal/serve"
+)
+
+// TestBoundaryMixTable is the boundary-mix satellite: every malformed
+// request class the generator emits must draw a 4xx with the v1
+// {error:{code,field,message}} envelope, and none may consume a
+// worker-pool slot (the server's simulation counter stays at zero).
+func TestBoundaryMixTable(t *testing.T) {
+	// A body limit below the spec's oversize knob, so the oversize kind
+	// exercises the 413 path rather than the trace-size validator.
+	srv := serve.New(serve.Config{Workers: 1, MaxBodyBytes: 4096})
+	defer srv.Close()
+	tgt := NewHandlerTarget("boundary", srv.Handler())
+
+	spec := testSpec(1)
+	spec.OversizeBytes = 8192
+	gen, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		kind       string
+		wantStatus int
+		wantCode   serve.ErrorCode
+	}{
+		{"unknown_field", 400, serve.CodeInvalidRequest},
+		{"truncated_columnar", 400, serve.CodeInvalidRequest},
+		{"oversize", 413, serve.CodeBodyTooLarge},
+		{"bad_algorithm", 400, serve.CodeInvalidRequest},
+	}
+	if len(cases) != len(MalformedKinds) {
+		t.Fatalf("table covers %d kinds, generator emits %d — extend the table", len(cases), len(MalformedKinds))
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			res := tgt.Do(context.Background(), gen.MalformedBody(tc.kind))
+			if res.Err != nil {
+				t.Fatalf("transport error: %v", res.Err)
+			}
+			if res.Status != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", res.Status, tc.wantStatus, res.Body)
+			}
+			var env serve.ErrorEnvelope
+			if err := json.Unmarshal(res.Body, &env); err != nil {
+				t.Fatalf("response is not the v1 error envelope: %v (%s)", err, res.Body)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q", env.Error.Code, tc.wantCode)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+			if tc.kind != "oversize" && env.Error.Field == "" {
+				t.Fatalf("validation rejection names no field: %+v", env.Error)
+			}
+		})
+	}
+
+	st := srv.Snapshot()
+	if st.Simulations != 0 {
+		t.Fatalf("malformed requests consumed %d worker-pool slots", st.Simulations)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("malformed requests left %d entries queued", st.QueueDepth)
+	}
+	if st.Requests == 0 {
+		t.Fatal("server counted no requests; the table did not reach the handler")
+	}
+
+	// A well-formed request on the same server does run a simulation —
+	// the counter works, so the zero above is meaningful.
+	ok := gen.PoolRequests()[0]
+	res := tgt.Do(context.Background(), ok.Body)
+	if res.Status != 200 {
+		t.Fatalf("control request failed: %d %s", res.Status, res.Body)
+	}
+	if got := srv.Snapshot().Simulations; got != 1 {
+		t.Fatalf("control request ran %d simulations, want 1", got)
+	}
+}

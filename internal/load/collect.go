@@ -1,0 +1,253 @@
+package load
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ppcsim/internal/obs"
+)
+
+// LatencySummary is one request class's latency distribution in the
+// capacity report, in milliseconds. Quantiles come from the shared
+// log-bucketed obs.Histogram (~5% relative resolution), extended here
+// to the tail percentile a saturation study cares about.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMs: h.MeanMs(),
+		P50Ms:  h.Quantile(0.50),
+		P95Ms:  h.Quantile(0.95),
+		P99Ms:  h.Quantile(0.99),
+		P999Ms: h.Quantile(0.999),
+		MaxMs:  h.Quantile(1),
+	}
+}
+
+// ClassStats is one request class's phase outcome. Sent counts
+// dispatched requests (shed arrivals never left the executor and are
+// counted separately); OK is 2xx; Rejected is 429 backpressure;
+// Timeouts combines server 504s with client-side deadlines.
+type ClassStats struct {
+	Sent            int64          `json:"sent"`
+	OK              int64          `json:"ok"`
+	CacheHits       int64          `json:"cache_hits"`
+	Rejected        int64          `json:"rejected"`
+	ClientErrors    int64          `json:"client_errors"`
+	ServerErrors    int64          `json:"server_errors"`
+	Timeouts        int64          `json:"timeouts"`
+	TransportErrors int64          `json:"transport_errors"`
+	Shed            int64          `json:"shed"`
+	Latency         LatencySummary `json:"latency"`
+}
+
+// add accumulates counters (not latency) for phase totals.
+func (a *ClassStats) add(b ClassStats) {
+	a.Sent += b.Sent
+	a.OK += b.OK
+	a.CacheHits += b.CacheHits
+	a.Rejected += b.Rejected
+	a.ClientErrors += b.ClientErrors
+	a.ServerErrors += b.ServerErrors
+	a.Timeouts += b.Timeouts
+	a.TransportErrors += b.TransportErrors
+	a.Shed += b.Shed
+}
+
+// classAgg is the mutable accumulator behind one ClassStats.
+type classAgg struct {
+	stats ClassStats
+	lat   obs.Histogram
+}
+
+// Collector aggregates one phase's outcomes per request class, plus a
+// merged all-classes series. Safe for concurrent Record calls from the
+// executor's response goroutines.
+type Collector struct {
+	mu      sync.Mutex
+	classes map[Class]*classAgg //ppcvet:guardedby mu
+	all     classAgg            //ppcvet:guardedby mu
+	check   *Consistency
+}
+
+// NewCollector builds a phase collector. check may be nil to skip
+// response-body consistency tracking; passing one shared Consistency
+// across phases (and runs) extends the byte-identity check across them.
+func NewCollector(check *Consistency) *Collector {
+	classes := make(map[Class]*classAgg, len(Classes))
+	for _, cl := range Classes {
+		classes[cl] = &classAgg{}
+	}
+	return &Collector{classes: classes, check: check}
+}
+
+// Shed counts an arrival dropped at the in-flight cap.
+func (c *Collector) Shed(class Class) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.classes[class].stats.Shed++
+	c.all.stats.Shed++
+}
+
+// Record files one completed request.
+func (c *Collector) Record(req GenRequest, res TargetResult, dur time.Duration) {
+	if c.check != nil && res.Status == http.StatusOK && req.Key != "" {
+		c.check.Observe(req.Key, res.Body)
+	}
+	ms := float64(dur) / float64(time.Millisecond)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, agg := range []*classAgg{c.classes[req.Class], &c.all} {
+		agg.stats.Sent++
+		switch {
+		case res.Err != nil:
+			if res.Timeout {
+				agg.stats.Timeouts++
+			} else {
+				agg.stats.TransportErrors++
+			}
+			continue // no latency sample for a request with no response
+		case res.Status >= 200 && res.Status < 300:
+			agg.stats.OK++
+			if res.CacheHit {
+				agg.stats.CacheHits++
+			}
+		case res.Status == http.StatusTooManyRequests:
+			agg.stats.Rejected++
+		case res.Status == http.StatusGatewayTimeout:
+			agg.stats.Timeouts++
+		case res.Status >= 400 && res.Status < 500:
+			agg.stats.ClientErrors++
+		default:
+			agg.stats.ServerErrors++
+		}
+		agg.lat.Observe(ms)
+	}
+}
+
+// ByClass snapshots the per-class stats in report form (keys are class
+// names; encoding/json emits them sorted).
+func (c *Collector) ByClass() map[string]ClassStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]ClassStats, len(Classes))
+	for _, cl := range Classes {
+		agg := c.classes[cl]
+		st := agg.stats
+		st.Latency = summarize(&agg.lat)
+		out[string(cl)] = st
+	}
+	return out
+}
+
+// Total snapshots the merged all-classes stats.
+func (c *Collector) Total() ClassStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.all.stats
+	st.Latency = summarize(&c.all.lat)
+	return st
+}
+
+// Frac429 returns the phase's backpressure fraction: 429s over sent
+// well-formed requests (malformed requests are rejected before the
+// queue and would dilute the signal). Zero when nothing was sent.
+func (c *Collector) Frac429() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sent, rejected int64
+	for _, cl := range Classes {
+		if cl == ClassMalformed {
+			continue
+		}
+		sent += c.classes[cl].stats.Sent
+		rejected += c.classes[cl].stats.Rejected
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(rejected) / float64(sent)
+}
+
+// Consistency tracks the byte-identity invariant the result cache
+// promises: every 200 response for one canonical key is byte-identical,
+// within a run and across runs that share the checker. The map is
+// capped; once full, new keys pass through unchecked (repeat keys —
+// the ones the invariant is about — are already present).
+type Consistency struct {
+	mu       sync.Mutex
+	bodies   map[string][sha256.Size]byte //ppcvet:guardedby mu
+	checked  int64                        //ppcvet:guardedby mu
+	mismatch []string                     //ppcvet:guardedby mu
+}
+
+// consistencyMaxKeys bounds the tracked-key map (unique cold keys are
+// unbounded over a long run).
+const consistencyMaxKeys = 1 << 16
+
+// NewConsistency builds an empty checker.
+func NewConsistency() *Consistency {
+	return &Consistency{bodies: make(map[string][sha256.Size]byte)}
+}
+
+// Observe files one 200 body for a key, recording a mismatch if the
+// key was seen before with different bytes.
+func (c *Consistency) Observe(key string, body []byte) {
+	sum := sha256.Sum256(body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.checked++
+	prev, ok := c.bodies[key]
+	if !ok {
+		if len(c.bodies) < consistencyMaxKeys {
+			c.bodies[key] = sum
+		}
+		return
+	}
+	if prev != sum && len(c.mismatch) < 16 {
+		c.mismatch = append(c.mismatch, key)
+	}
+}
+
+// Report summarizes the checker for the capacity report.
+func (c *Consistency) Report() ConsistencyReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Strings(c.mismatch)
+	return ConsistencyReport{
+		CheckedBodies:  c.checked,
+		DistinctKeys:   len(c.bodies),
+		MismatchedKeys: append([]string(nil), c.mismatch...),
+	}
+}
+
+// ConsistencyReport is the byte-identity section of the capacity
+// report. A non-empty MismatchedKeys list fails the run's SLO verdict
+// unconditionally: a cache serving different bytes for one key is a
+// correctness bug, whatever the latency.
+type ConsistencyReport struct {
+	CheckedBodies  int64    `json:"checked_bodies"`
+	DistinctKeys   int      `json:"distinct_keys"`
+	MismatchedKeys []string `json:"mismatched_keys,omitempty"`
+}
+
+// String renders the one-line human form.
+func (r ConsistencyReport) String() string {
+	if len(r.MismatchedKeys) > 0 {
+		return fmt.Sprintf("%d bodies over %d keys: %d MISMATCHED %v", r.CheckedBodies, r.DistinctKeys, len(r.MismatchedKeys), r.MismatchedKeys)
+	}
+	return fmt.Sprintf("%d bodies over %d keys: all byte-identical", r.CheckedBodies, r.DistinctKeys)
+}

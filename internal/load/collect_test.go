@@ -1,0 +1,145 @@
+package load
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCollectorClassification walks the status table: every response
+// shape must land in exactly one counter bucket.
+func TestCollectorClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		res  TargetResult
+		pick func(ClassStats) int64
+	}{
+		{"ok", TargetResult{Status: 200, Body: []byte("r")}, func(s ClassStats) int64 { return s.OK }},
+		{"cache hit", TargetResult{Status: 200, CacheHit: true}, func(s ClassStats) int64 { return s.CacheHits }},
+		{"rejected", TargetResult{Status: 429}, func(s ClassStats) int64 { return s.Rejected }},
+		{"client error", TargetResult{Status: 400}, func(s ClassStats) int64 { return s.ClientErrors }},
+		{"too large", TargetResult{Status: 413}, func(s ClassStats) int64 { return s.ClientErrors }},
+		{"server error", TargetResult{Status: 500}, func(s ClassStats) int64 { return s.ServerErrors }},
+		{"gateway timeout", TargetResult{Status: 504}, func(s ClassStats) int64 { return s.Timeouts }},
+		{"client deadline", TargetResult{Err: errors.New("deadline"), Timeout: true}, func(s ClassStats) int64 { return s.Timeouts }},
+		{"transport", TargetResult{Err: errors.New("refused")}, func(s ClassStats) int64 { return s.TransportErrors }},
+	}
+	for _, tc := range cases {
+		c := NewCollector(nil)
+		c.Record(GenRequest{Class: ClassCold}, tc.res, 2*time.Millisecond)
+		st := c.ByClass()[string(ClassCold)]
+		if st.Sent != 1 {
+			t.Errorf("%s: sent = %d", tc.name, st.Sent)
+		}
+		if got := tc.pick(st); got != 1 {
+			t.Errorf("%s: bucket = %d, want 1", tc.name, got)
+		}
+		// A request with no response must leave no latency sample.
+		wantLat := int64(1)
+		if tc.res.Err != nil {
+			wantLat = 0
+		}
+		if st.Latency.Count != wantLat {
+			t.Errorf("%s: latency count = %d, want %d", tc.name, st.Latency.Count, wantLat)
+		}
+		if tot := c.Total(); tot.Sent != 1 {
+			t.Errorf("%s: total sent = %d", tc.name, tot.Sent)
+		}
+	}
+}
+
+// TestFrac429ExcludesMalformed pins the onset signal: malformed
+// requests are rejected before the queue, so their outcomes must not
+// dilute the backpressure fraction.
+func TestFrac429ExcludesMalformed(t *testing.T) {
+	c := NewCollector(nil)
+	for i := 0; i < 8; i++ {
+		c.Record(GenRequest{Class: ClassCold}, TargetResult{Status: 200}, time.Millisecond)
+	}
+	c.Record(GenRequest{Class: ClassCold}, TargetResult{Status: 429}, time.Millisecond)
+	c.Record(GenRequest{Class: ClassCold}, TargetResult{Status: 429}, time.Millisecond)
+	// A flood of malformed traffic must not move the fraction.
+	for i := 0; i < 100; i++ {
+		c.Record(GenRequest{Class: ClassMalformed}, TargetResult{Status: 400}, time.Millisecond)
+	}
+	if got, want := c.Frac429(), 0.2; got != want {
+		t.Fatalf("Frac429 = %g, want %g", got, want)
+	}
+}
+
+// TestFrac429Empty returns zero when nothing was sent.
+func TestFrac429Empty(t *testing.T) {
+	if got := NewCollector(nil).Frac429(); got != 0 {
+		t.Fatalf("empty collector Frac429 = %g", got)
+	}
+}
+
+// TestLatencyQuantileOrdering asserts the summary is internally
+// consistent: p50 ≤ p95 ≤ p99 ≤ p999 ≤ max, mean within range.
+func TestLatencyQuantileOrdering(t *testing.T) {
+	c := NewCollector(nil)
+	for i := 1; i <= 1000; i++ {
+		c.Record(GenRequest{Class: ClassCached}, TargetResult{Status: 200}, time.Duration(i)*time.Millisecond)
+	}
+	lat := c.ByClass()[string(ClassCached)].Latency
+	if lat.Count != 1000 {
+		t.Fatalf("count = %d", lat.Count)
+	}
+	if !(lat.P50Ms <= lat.P95Ms && lat.P95Ms <= lat.P99Ms && lat.P99Ms <= lat.P999Ms && lat.P999Ms <= lat.MaxMs) {
+		t.Fatalf("quantiles out of order: %+v", lat)
+	}
+	if lat.MeanMs < lat.P50Ms/2 || lat.MeanMs > lat.MaxMs {
+		t.Fatalf("mean %.3f outside plausible range: %+v", lat.MeanMs, lat)
+	}
+}
+
+// TestConsistencyDetectsMismatch files two different bodies for one
+// key and expects the key reported once, sorted.
+func TestConsistencyDetectsMismatch(t *testing.T) {
+	ck := NewConsistency()
+	ck.Observe("key-b", []byte("result-1"))
+	ck.Observe("key-b", []byte("result-1"))
+	ck.Observe("key-a", []byte("x"))
+	ck.Observe("key-b", []byte("result-2"))
+	rep := ck.Report()
+	if rep.CheckedBodies != 4 || rep.DistinctKeys != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.MismatchedKeys) != 1 || rep.MismatchedKeys[0] != "key-b" {
+		t.Fatalf("mismatched = %v", rep.MismatchedKeys)
+	}
+}
+
+// TestConsistencyIdenticalBodiesPass is the happy path plus the
+// String rendering both branches of the report line.
+func TestConsistencyIdenticalBodiesPass(t *testing.T) {
+	ck := NewConsistency()
+	for i := 0; i < 5; i++ {
+		ck.Observe("k", []byte("same"))
+	}
+	rep := ck.Report()
+	if len(rep.MismatchedKeys) != 0 {
+		t.Fatalf("false mismatch: %v", rep.MismatchedKeys)
+	}
+	if s := rep.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	ck.Observe("k", []byte("different"))
+	if s := ck.Report().String(); s == "" {
+		t.Fatal("empty mismatch String()")
+	}
+}
+
+// TestCollectorFeedsConsistency asserts only 200s with keys reach the
+// checker — a 429 retry of a keyed request must not count as a body.
+func TestCollectorFeedsConsistency(t *testing.T) {
+	ck := NewConsistency()
+	c := NewCollector(ck)
+	c.Record(GenRequest{Class: ClassCached, Key: "k"}, TargetResult{Status: 200, Body: []byte("b")}, time.Millisecond)
+	c.Record(GenRequest{Class: ClassCached, Key: "k"}, TargetResult{Status: 429}, time.Millisecond)
+	c.Record(GenRequest{Class: ClassMalformed}, TargetResult{Status: 400, Body: []byte("e")}, time.Millisecond)
+	rep := ck.Report()
+	if rep.CheckedBodies != 1 || rep.DistinctKeys != 1 {
+		t.Fatalf("checker saw %+v, want exactly the one 200 keyed body", rep)
+	}
+}

@@ -1,0 +1,71 @@
+package load
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"ppcsim"
+)
+
+// FuzzParseLoadSpec fuzzes the spec boundary: any byte string must
+// either parse into a spec that validates and round-trips, or be
+// rejected with a *ppcsim.ConfigError naming a field — never a panic,
+// never a bare error.
+func FuzzParseLoadSpec(f *testing.F) {
+	seeds := []string{
+		validRampJSON,
+		`{"mode":"sweep","sweep":{"rps":[50,100],"seconds_per_point":2,"mixes":[{"cold":1}]}}`,
+		`{"mode":"burst","burst":{"low_rps":10,"high_rps":200,"period_seconds":2,"cycles":3}}`,
+		`{"seed":-1,"mode":"ramp","mix":{"malformed":1},"jitter_fraction":0,"ramp":{"start_rps":1,"step_rps":1,"max_rps":1,"step_seconds":0.001,"onset_429_fraction":1}}`,
+		`{"mode":"ramp","slo":{"p99_ms":{"cached":1e-9},"max_error_fraction":1},"ramp":{"start_rps":1e6,"step_rps":1,"max_rps":1e6,"step_seconds":0.000001}}`,
+		`{"mode":"ramp","oversize_bytes":67108864,"cold_refs":1048576,"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`,
+		`{"mode":"stampede"}`,
+		`{"mode":"ramp","ramp":null}`,
+		`null`, `{}`, `[]`, `{"mode":`, ``, `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseLoadSpec(data)
+		if err != nil {
+			var ce *ppcsim.ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("rejection is %T, not a ConfigError: %v", err, err)
+			}
+			if ce.Field == "" {
+				t.Fatalf("rejection names no field: %v", err)
+			}
+			return
+		}
+		// An accepted spec must survive a marshal → parse round trip.
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		back, err := ParseLoadSpec(raw)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nspec: %s", err, raw)
+		}
+		if back.Mode != spec.Mode || back.Seed != spec.Seed {
+			t.Fatalf("round trip changed the spec: %s", raw)
+		}
+		// And the generator must build for any accepted spec. Skip specs
+		// whose body knobs make construction deliberately huge — the
+		// limits tested here are the parser's, not the allocator's.
+		if spec.oversizeBytes() > 1<<16 || spec.coldRefs() > 1024 {
+			return
+		}
+		gen, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatalf("accepted spec fails generation: %v\nspec: %s", err, raw)
+		}
+		for i := 0; i < 3; i++ {
+			req := gen.Next(spec.mix())
+			if len(req.Body) == 0 {
+				t.Fatalf("generated empty body for class %s", req.Class)
+			}
+		}
+	})
+}

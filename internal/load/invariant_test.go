@@ -1,0 +1,83 @@
+package load
+
+import (
+	"context"
+	"testing"
+
+	"ppcsim/internal/serve"
+)
+
+// TestServingInvariantWarmReplay is the serving-invariant satellite:
+// replaying the identical load phase against a warm server must yield
+// a cache-hit ratio at least the cold phase's, and every 200 body must
+// be byte-identical per canonical key across both runs (one shared
+// Consistency checker spans them). Runs real simulations through the
+// full v1 handler path; the race detector covers the executor,
+// collector, and server concurrently.
+func TestServingInvariantWarmReplay(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	tgt := NewHandlerTarget("invariant", srv.Handler())
+
+	spec := &LoadSpec{
+		Seed:      21,
+		Mode:      "sweep",
+		ColdRefs:  48,
+		SkipPrime: true, // the cold run must pay first-touch misses itself
+		Sweep:     &SweepSpec{RPS: []float64{150}, SecondsPerPoint: 0.4},
+	}
+	check := NewConsistency()
+	replay := func(name string) *Report {
+		rep, err := (&Runner{Spec: spec, Target: tgt, Check: check}).Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s run: %v", name, err)
+		}
+		return rep
+	}
+
+	cold := replay("cold")
+	warm := replay("warm")
+
+	ratio := func(rep *Report) float64 {
+		var ok, hits int64
+		for _, ph := range rep.Phases {
+			ok += ph.Total.OK
+			hits += ph.Total.CacheHits
+		}
+		if ok == 0 {
+			t.Fatalf("no 200s in a replay run: %+v", rep.Phases)
+		}
+		return float64(hits) / float64(ok)
+	}
+	coldRatio, warmRatio := ratio(cold), ratio(warm)
+	if warmRatio < coldRatio {
+		t.Fatalf("warm hit ratio %.3f below cold %.3f", warmRatio, coldRatio)
+	}
+	// The warm run re-sends the cold run's cached-pool keys, whose
+	// first touches missed in the cold run — strictly more hits now.
+	if warmRatio <= coldRatio {
+		t.Fatalf("warm hit ratio %.3f did not improve on cold %.3f; the cache is not retaining the pool", warmRatio, coldRatio)
+	}
+
+	// Byte identity per canonical key, across both runs.
+	final := check.Report()
+	if len(final.MismatchedKeys) != 0 {
+		t.Fatalf("keys served non-identical bodies across replays: %v", final.MismatchedKeys)
+	}
+	if final.CheckedBodies == 0 || final.DistinctKeys == 0 {
+		t.Fatalf("consistency checker saw nothing: %+v", final)
+	}
+	if warm.SLO == nil || !warm.SLO.Pass {
+		t.Fatalf("warm replay verdict: %+v", warm.SLO)
+	}
+
+	// The two runs offered identical streams, so they sent identical
+	// per-class counts — determinism observed end to end.
+	for _, cl := range Classes {
+		c1 := cold.Phases[0].Classes[string(cl)].Sent
+		c2 := warm.Phases[0].Classes[string(cl)].Sent
+		if c1 != c2 {
+			t.Fatalf("class %s sent %d cold vs %d warm under one spec", cl, c1, c2)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package load
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ppcsim/internal/layout"
+	"ppcsim/internal/serve"
+	"ppcsim/internal/trace"
+)
+
+// MalformedKinds lists the boundary-violating request sub-classes the
+// generator can emit, in the fixed order the boundary tests enumerate.
+// Every kind must draw a 4xx with the v1 error envelope and must never
+// consume a worker-pool slot.
+var MalformedKinds = []string{
+	"unknown_field",      // strict decoding rejects a typoed knob
+	"truncated_columnar", // base64 columnar body cut mid-frame
+	"oversize",           // body larger than the server's -max-body
+	"bad_algorithm",      // algorithm name the parser does not know
+}
+
+// GenRequest is one generated request: the exact POST /v1/run body, its
+// class, and — for well-formed classes — the canonical result-cache key
+// the serving stack will compute for it, which the collector uses to
+// assert byte-identical response bodies per key.
+type GenRequest struct {
+	Class Class
+	// Kind is the malformed sub-class (one of MalformedKinds) and empty
+	// for well-formed requests.
+	Kind string
+	Body []byte
+	// Key is the canonical cache key (serve.RunSpec.Key) of a well-formed
+	// request, empty for malformed ones.
+	Key string
+}
+
+// Generator synthesizes the deterministic request stream: every body is
+// a pure function of (spec seed, request ordinal), so replaying a spec
+// replays the identical byte stream. A Generator is not safe for
+// concurrent use; the scheduler pre-generates each phase before its
+// clock starts.
+type Generator struct {
+	spec *LoadSpec
+	rng  *rand.Rand
+
+	warm     []GenRequest // fixed pool for ClassCached
+	cells    []GenRequest // finite grid for ClassSweep
+	cellNext int
+
+	coldSeq int
+	colSeq  int
+
+	oversize []byte // shared filler payload for the oversize kind
+}
+
+// NewGenerator builds the generator for a validated spec, pre-building
+// the cached pool and sweep grid (both finite and spec-independent
+// except for body size knobs).
+func NewGenerator(spec *LoadSpec) (*Generator, error) {
+	g := &Generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+	}
+	// The warm pool: a handful of bundled-trace configurations repeated
+	// for the run's whole lifetime. After each key's first miss, every
+	// repeat is a result-cache hit (55% of DefaultMix re-touches these
+	// keys, which keeps them pinned at the LRU head even while unique
+	// cold keys stream through the cache).
+	warmAlgs := []string{"demand", "aggressive", "forestall", "fixed-horizon"}
+	for _, alg := range warmAlgs {
+		for _, disks := range []int{1, 4} {
+			req, err := runSpecRequest(serve.RunSpec{
+				Trace:       "synth",
+				Algorithm:   alg,
+				Disks:       intp(disks),
+				CacheBlocks: intp(512),
+			}, ClassCached)
+			if err != nil {
+				return nil, err
+			}
+			g.warm = append(g.warm, req)
+		}
+	}
+	// The sweep grid: distinct cells like a coordinator shard's share of
+	// a parameter sweep — finite, so the grid warms as the run proceeds.
+	for _, alg := range warmAlgs {
+		for _, disks := range []int{1, 2, 4} {
+			for _, cache := range []int{256, 1024} {
+				req, err := runSpecRequest(serve.RunSpec{
+					Trace:       "synth",
+					Algorithm:   alg,
+					Disks:       intp(disks),
+					CacheBlocks: intp(cache),
+				}, ClassSweep)
+				if err != nil {
+					return nil, err
+				}
+				g.cells = append(g.cells, req)
+			}
+		}
+	}
+	g.oversize = bytes.Repeat([]byte("A"), spec.oversizeBytes())
+	return g, nil
+}
+
+// runSpecRequest marshals a RunSpec into its POST /v1/run body and
+// canonical key.
+func runSpecRequest(rs serve.RunSpec, class Class) (GenRequest, error) {
+	if err := rs.Validate(); err != nil {
+		return GenRequest{}, fmt.Errorf("load: generated spec invalid: %w", err)
+	}
+	body, err := json.Marshal(serve.Request{RunSpec: rs})
+	if err != nil {
+		return GenRequest{}, err
+	}
+	return GenRequest{Class: class, Body: body, Key: rs.Key()}, nil
+}
+
+func intp(v int) *int { return &v }
+
+// PoolRequests returns one instance of every finite-pool request (the
+// cached pool and the sweep grid) in deterministic order. The runner
+// posts these once before the measured phases so each pool key's
+// first-touch compute lands in warm-up, not in a measured step — ramp
+// saturation should find the steady-state capacity, not the cost of a
+// cold result cache.
+func (g *Generator) PoolRequests() []GenRequest {
+	out := make([]GenRequest, 0, len(g.warm)+len(g.cells))
+	out = append(out, g.warm...)
+	return append(out, g.cells...)
+}
+
+// Next draws the next request under the given mix. The rng consumption
+// order is fixed (class draw, then body draws), so the stream is
+// deterministic for a spec regardless of wall-clock timing.
+func (g *Generator) Next(mix Mix) GenRequest {
+	r := g.rng.Float64() * mix.total()
+	var class Class
+	for _, c := range Classes {
+		w := mix.Weight(c)
+		if w <= 0 {
+			continue
+		}
+		if r < w {
+			class = c
+			break
+		}
+		r -= w
+	}
+	if class == "" {
+		class = lastPositive(mix) // float tail: credit the final weighted class
+	}
+	switch class {
+	case ClassCached:
+		return g.warm[g.rng.Intn(len(g.warm))]
+	case ClassCold:
+		return g.cold()
+	case ClassColumnar:
+		return g.columnar()
+	case ClassSweep:
+		req := g.cells[g.cellNext%len(g.cells)]
+		g.cellNext++
+		return req
+	default:
+		return g.malformed()
+	}
+}
+
+func lastPositive(mix Mix) Class {
+	last := Classes[0]
+	for _, c := range Classes {
+		if mix.Weight(c) > 0 {
+			last = c
+		}
+	}
+	return last
+}
+
+// synthTrace builds one small random trace: the body payload of the
+// cold and columnar classes. The name carries the ordinal, so every
+// generated trace is unique (and hashes to a unique canonical key) even
+// if the reference pattern repeated.
+func (g *Generator) synthTrace(name string) *trace.Trace {
+	const nBlocks = 128
+	refs := make([]trace.Ref, g.spec.coldRefs())
+	for i := range refs {
+		refs[i] = trace.Ref{
+			Block:     layout.BlockID(g.rng.Intn(nBlocks)),
+			ComputeMs: 0.01 + 0.2*g.rng.Float64(),
+		}
+	}
+	return &trace.Trace{
+		Name:        name,
+		Refs:        refs,
+		Files:       []layout.File{{Blocks: nBlocks}},
+		CacheBlocks: 64,
+	}
+}
+
+// cold emits a unique inline ppctrace text body: always a cache miss,
+// always a fresh simulation.
+func (g *Generator) cold() GenRequest {
+	tr := g.synthTrace(fmt.Sprintf("cold-%06d", g.coldSeq))
+	g.coldSeq++
+	var text strings.Builder
+	if err := tr.Write(&text); err != nil {
+		panic(err) // strings.Builder cannot fail
+	}
+	req, err := runSpecRequest(serve.RunSpec{
+		TraceText:   text.String(),
+		Algorithm:   g.pick("demand", "aggressive", "forestall"),
+		Disks:       intp(g.pickInt(1, 2, 4)),
+		CacheBlocks: intp(64),
+	}, ClassCold)
+	if err != nil {
+		panic(err) // the generator only builds specs it knows are valid
+	}
+	return req
+}
+
+// columnar emits a unique base64 columnar binary body (the streaming
+// wire form of docs/trace-format.md).
+func (g *Generator) columnar() GenRequest {
+	tr := g.synthTrace(fmt.Sprintf("col-%06d", g.colSeq))
+	g.colSeq++
+	var buf bytes.Buffer
+	if _, err := trace.WriteColumnar(&buf, tr.Source()); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	req, err := runSpecRequest(serve.RunSpec{
+		TraceText:   base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Algorithm:   g.pick("demand", "aggressive", "forestall"),
+		Disks:       intp(g.pickInt(1, 2, 4)),
+		CacheBlocks: intp(64),
+	}, ClassColumnar)
+	if err != nil {
+		panic(err)
+	}
+	return req
+}
+
+// malformed emits one boundary-violating body, rotating kinds by rng
+// draw. Bodies are built by MalformedBody so the boundary table tests
+// exercise exactly what the generator sends.
+func (g *Generator) malformed() GenRequest {
+	kind := MalformedKinds[g.rng.Intn(len(MalformedKinds))]
+	return GenRequest{Class: ClassMalformed, Kind: kind, Body: g.MalformedBody(kind)}
+}
+
+// MalformedBody returns the request body for one malformed kind.
+func (g *Generator) MalformedBody(kind string) []byte {
+	switch kind {
+	case "unknown_field":
+		return []byte(`{"trace":"synth","algorithm":"demand","bogus_knob":1}`)
+	case "truncated_columnar":
+		// A structurally valid base64 string that sniffs as columnar but
+		// decodes to a cut-off stream: the columnar magic plus padding,
+		// far short of a full header.
+		return []byte(`{"trace_text":"` + trace.ColumnarBase64Prefix + `AAAA","algorithm":"demand"}`)
+	case "oversize":
+		body := append([]byte(`{"trace_text":"`), g.oversize...)
+		return append(body, []byte(`","algorithm":"demand"}`)...)
+	case "bad_algorithm":
+		return []byte(`{"trace":"synth","algorithm":"quantum-oracle"}`)
+	}
+	panic(fmt.Sprintf("load: unknown malformed kind %q", kind))
+}
+
+func (g *Generator) pick(names ...string) string {
+	return names[g.rng.Intn(len(names))]
+}
+
+func (g *Generator) pickInt(vs ...int) int {
+	return vs[g.rng.Intn(len(vs))]
+}

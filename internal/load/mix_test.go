@@ -1,0 +1,222 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ppcsim/internal/serve"
+)
+
+func testSpec(seed int64) *LoadSpec {
+	return &LoadSpec{
+		Seed:     seed,
+		Mode:     "sweep",
+		ColdRefs: 32,
+		Sweep:    &SweepSpec{RPS: []float64{100}, SecondsPerPoint: 1},
+	}
+}
+
+// TestGeneratorDeterminism replays one spec twice and asserts the two
+// request streams are byte-identical — class, kind, key, and body — the
+// property that makes a checked-in LOAD report a reproducible
+// experiment. A different seed must diverge.
+func TestGeneratorDeterminism(t *testing.T) {
+	const n = 512
+	g1, err := NewGenerator(testSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(testSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		a, b := g1.Next(DefaultMix), g2.Next(DefaultMix)
+		if a.Class != b.Class || a.Kind != b.Kind || a.Key != b.Key || !bytes.Equal(a.Body, b.Body) {
+			t.Fatalf("request %d diverged under one seed: %s/%s vs %s/%s", i, a.Class, a.Kind, b.Class, b.Kind)
+		}
+	}
+	g3, err := NewGenerator(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	g1b, _ := NewGenerator(testSpec(9))
+	for i := 0; i < n; i++ {
+		a, b := g1b.Next(DefaultMix), g3.Next(DefaultMix)
+		if a.Class != b.Class || !bytes.Equal(a.Body, b.Body) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 9 and 10 produced identical streams")
+	}
+}
+
+// TestGeneratorBodiesParseAtTheBoundary feeds every well-formed
+// generated body through the real v1 request parser and asserts the
+// parser's canonical key matches the key the generator attached — the
+// contract the consistency checker depends on.
+func TestGeneratorBodiesParseAtTheBoundary(t *testing.T) {
+	g, err := NewGenerator(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Class]int{}
+	for i := 0; i < 400; i++ {
+		req := g.Next(DefaultMix)
+		seen[req.Class]++
+		if req.Class == ClassMalformed {
+			if req.Key != "" {
+				t.Fatalf("malformed request %d carries a key %q", i, req.Key)
+			}
+			continue
+		}
+		var sreq serve.Request
+		dec := json.NewDecoder(bytes.NewReader(req.Body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sreq); err != nil {
+			t.Fatalf("request %d (%s) does not decode: %v", i, req.Class, err)
+		}
+		if err := sreq.RunSpec.Validate(); err != nil {
+			t.Fatalf("request %d (%s) invalid at the boundary: %v", i, req.Class, err)
+		}
+		if got := sreq.RunSpec.Key(); got != req.Key {
+			t.Fatalf("request %d (%s): generator key %q, boundary key %q", i, req.Class, req.Key, got)
+		}
+	}
+	for _, c := range Classes {
+		if seen[c] == 0 {
+			t.Errorf("class %s never drawn in 400 requests of DefaultMix", c)
+		}
+	}
+}
+
+// TestGeneratorClassFrequencies draws a long stream and checks each
+// class lands within a generous band of its mix weight.
+func TestGeneratorClassFrequencies(t *testing.T) {
+	g, err := NewGenerator(testSpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	counts := map[Class]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next(DefaultMix).Class]++
+	}
+	for _, c := range Classes {
+		want := DefaultMix.Weight(c) / DefaultMix.total()
+		got := float64(counts[c]) / n
+		if got < want*0.6 || got > want*1.4+0.01 {
+			t.Errorf("class %s frequency %.3f, want about %.3f", c, got, want)
+		}
+	}
+}
+
+// TestGeneratorUniqueColdKeys asserts cold and columnar requests never
+// repeat a canonical key (each must be a guaranteed cache miss), while
+// cached requests draw from a fixed pool.
+func TestGeneratorUniqueColdKeys(t *testing.T) {
+	g, err := NewGenerator(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := map[string]bool{}
+	cachedKeys := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		req := g.Next(DefaultMix)
+		switch req.Class {
+		case ClassCold, ClassColumnar:
+			if cold[req.Key] {
+				t.Fatalf("%s request repeated key %q", req.Class, req.Key)
+			}
+			cold[req.Key] = true
+		case ClassCached:
+			cachedKeys[req.Key] = true
+		}
+	}
+	if len(cachedKeys) == 0 || len(cachedKeys) > 16 {
+		t.Errorf("cached pool spans %d keys, want a small fixed pool", len(cachedKeys))
+	}
+}
+
+// TestGeneratorSweepCycles asserts the sweep class cycles the whole
+// grid before repeating, so the grid warms deterministically.
+func TestGeneratorSweepCycles(t *testing.T) {
+	g, err := NewGenerator(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlySweep := Mix{Sweep: 1}
+	first := map[string]bool{}
+	var order []string
+	for len(order) < len(g.cells) {
+		req := g.Next(onlySweep)
+		if first[req.Key] {
+			t.Fatalf("sweep repeated key %q before finishing the grid (%d of %d cells)", req.Key, len(order), len(g.cells))
+		}
+		first[req.Key] = true
+		order = append(order, req.Key)
+	}
+	// One more full cycle must replay the same order.
+	for i := range order {
+		if got := g.Next(onlySweep).Key; got != order[i] {
+			t.Fatalf("second sweep cycle diverged at %d: %q vs %q", i, got, order[i])
+		}
+	}
+}
+
+// TestPoolRequestsDeterministic pins the warm-up pass: a fixed,
+// deterministic list covering the cached pool and the sweep grid, all
+// well-formed with distinct keys.
+func TestPoolRequestsDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(testSpec(1))
+	g2, _ := NewGenerator(testSpec(99)) // pool is seed-independent
+	p1, p2 := g1.PoolRequests(), g2.PoolRequests()
+	if len(p1) != len(p2) || len(p1) == 0 {
+		t.Fatalf("pool sizes %d vs %d", len(p1), len(p2))
+	}
+	keys := map[string]bool{}
+	for i := range p1 {
+		if p1[i].Key == "" || p1[i].Key != p2[i].Key || !bytes.Equal(p1[i].Body, p2[i].Body) {
+			t.Fatalf("pool entry %d differs across generators", i)
+		}
+		if keys[p1[i].Key] {
+			t.Fatalf("pool entry %d repeats key %q", i, p1[i].Key)
+		}
+		keys[p1[i].Key] = true
+	}
+}
+
+// TestMalformedBodies asserts every malformed kind is emitted and has
+// its intended shape (the boundary tests assert the server-side half).
+func TestMalformedBodies(t *testing.T) {
+	spec := testSpec(4)
+	spec.OversizeBytes = 2048
+	g, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		req := g.Next(Mix{Malformed: 1})
+		seen[req.Kind] = true
+	}
+	for _, kind := range MalformedKinds {
+		if !seen[kind] {
+			t.Errorf("kind %s never drawn", kind)
+		}
+		body := g.MalformedBody(kind)
+		if kind == "oversize" {
+			if len(body) < spec.OversizeBytes {
+				t.Errorf("oversize body is %d bytes, below the %d knob", len(body), spec.OversizeBytes)
+			}
+			continue
+		}
+		if !json.Valid(body) {
+			t.Errorf("kind %s is not even JSON — the boundary must reject it later than the JSON layer", kind)
+		}
+	}
+}

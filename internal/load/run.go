@@ -1,0 +1,202 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"ppcsim"
+)
+
+// Runner executes one LoadSpec against one Target and assembles the
+// capacity report. Zero-value optional fields select production
+// defaults (wall clock, fresh consistency checker, silent progress).
+type Runner struct {
+	Spec   *LoadSpec
+	Target Target
+	// Clock drives the schedule; nil means the wall clock. Tests inject
+	// FakeClock to run timelines instantly.
+	Clock Clock
+	// Check accumulates the response-body byte-identity invariant; nil
+	// builds a fresh checker. Passing one checker to several runs
+	// extends the invariant across them (the serving-invariant test
+	// replays a phase against a warm server this way).
+	Check *Consistency
+	// Log receives one progress line per completed phase; nil discards.
+	Log io.Writer
+}
+
+// Run executes the spec's phases in order. The request stream and
+// arrival schedule are pure functions of the spec, so two Runs of one
+// spec offer byte-identical load; only the measured responses differ.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if err := r.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := NewGenerator(r.Spec)
+	if err != nil {
+		return nil, err
+	}
+	clock := r.Clock
+	if clock == nil {
+		clock = RealClock()
+	}
+	check := r.Check
+	if check == nil {
+		check = NewConsistency()
+	}
+	rep := &Report{
+		Version:    ReportVersion,
+		Tool:       "ppc-load",
+		Spec:       *r.Spec,
+		Target:     r.Target.Name(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	if !r.Spec.SkipPrime {
+		// Warm-up: touch every finite-pool key once, sequentially, so the
+		// measured phases see the steady-state cache instead of a burst of
+		// first-touch misses. Responses still feed the byte-identity
+		// checker but no phase statistics.
+		start := clock.Now()
+		for _, req := range gen.PoolRequests() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res := r.Target.Do(ctx, req.Body)
+			if res.Status == 200 && req.Key != "" {
+				check.Observe(req.Key, res.Body)
+			}
+		}
+		if r.Log != nil {
+			fmt.Fprintf(r.Log, "ppc-load: primed %d pool keys in %v\n",
+				len(gen.PoolRequests()), clock.Now().Sub(start).Round(time.Millisecond))
+		}
+	}
+
+	runPhase := func(name string, rps, seconds float64, mix Mix) (PhaseReport, error) {
+		ph, err := r.phase(ctx, gen, clock, check, name, rps, seconds, mix, len(rep.Phases))
+		if err != nil {
+			return PhaseReport{}, err
+		}
+		rep.Phases = append(rep.Phases, ph)
+		if r.Log != nil {
+			t := ph.Total
+			fmt.Fprintf(r.Log, "ppc-load: %-20s offered %8.1f  achieved %8.1f  429 %5.2f%%  p99 %8.3fms\n",
+				ph.Name, ph.OfferedRPS, ph.AchievedRPS, 100*ph.Frac429, t.Latency.P99Ms)
+		}
+		return ph, nil
+	}
+
+	switch r.Spec.Mode {
+	case "ramp":
+		rmp := r.Spec.Ramp
+		threshold := r.Spec.onset429Fraction()
+		sat := &Saturation{Threshold: threshold}
+		prev := 0.0
+		for step := 0; ; step++ {
+			rps := rmp.StartRPS + float64(step)*rmp.StepRPS
+			if rps > rmp.MaxRPS*(1+1e-9) {
+				break
+			}
+			ph, err := runPhase(fmt.Sprintf("ramp@%.0frps", rps), rps, rmp.StepSeconds, r.Spec.mix())
+			if err != nil {
+				return nil, err
+			}
+			if ph.Frac429 >= threshold {
+				sat.Found = true
+				sat.OnsetRPS = rps
+				sat.MaxCleanRPS = prev
+				sat.Frac429AtOnset = ph.Frac429
+				break
+			}
+			prev = rps
+		}
+		rep.Saturation = sat
+	case "sweep":
+		sw := r.Spec.Sweep
+		mixes := sw.Mixes
+		if len(mixes) == 0 {
+			mixes = []Mix{r.Spec.mix()}
+		}
+		for mi, mix := range mixes {
+			for _, rps := range sw.RPS {
+				name := fmt.Sprintf("sweep@%.0frps", rps)
+				if len(mixes) > 1 {
+					name = fmt.Sprintf("sweep m%d@%.0frps", mi, rps)
+				}
+				if _, err := runPhase(name, rps, sw.SecondsPerPoint, mix); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case "burst":
+		b := r.Spec.Burst
+		half := b.PeriodSeconds / 2
+		for cyc := 0; cyc < b.Cycles; cyc++ {
+			if _, err := runPhase(fmt.Sprintf("burst c%d low", cyc), b.LowRPS, half, r.Spec.mix()); err != nil {
+				return nil, err
+			}
+			if _, err := runPhase(fmt.Sprintf("burst c%d high", cyc), b.HighRPS, half, r.Spec.mix()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rep.Consistency = check.Report()
+	rep.SLO = EvaluateSLO(r.Spec, rep.Phases, rep.Consistency)
+	return rep, nil
+}
+
+// phase pre-generates one phase's request bodies, walks its arrival
+// timeline open-loop, waits for every in-flight response, and snapshots
+// the collector. Pre-generation keeps body synthesis off the dispatch
+// path, so arrival instants measure the server, not the generator.
+func (r *Runner) phase(ctx context.Context, gen *Generator, clock Clock, check *Consistency, name string, rps, seconds float64, mix Mix, phaseIdx int) (PhaseReport, error) {
+	if err := ctx.Err(); err != nil {
+		return PhaseReport{}, err
+	}
+	nominal := time.Duration(seconds * float64(time.Second))
+	// The arrival schedule and the bodies draw from separate seeded
+	// streams so body sizes never perturb arrival times across spec
+	// changes; the timeline stream is keyed by phase ordinal.
+	tlRng := rand.New(rand.NewSource(r.Spec.Seed*1_000_003 + int64(phaseIdx) + 1))
+	tl := NewTimeline(rps, nominal, r.Spec.jitterFraction(), tlRng)
+	if len(tl) > maxPhaseRequests {
+		return PhaseReport{}, &ppcsim.ConfigError{
+			Field:  "LoadSpec",
+			Reason: fmt.Sprintf("phase %s needs %d pre-generated requests (max %d); lower rps or the phase duration", name, len(tl), maxPhaseRequests),
+		}
+	}
+	reqs := make([]GenRequest, len(tl))
+	for i := range reqs {
+		reqs[i] = gen.Next(mix)
+	}
+	collect := NewCollector(check)
+	ex := NewExecutor(r.Target, clock, collect, r.Spec.maxInFlight())
+	start := clock.Now()
+	dispatched := runTimeline(ctx, clock, tl, reqs, nominal, func(i int, req GenRequest) {
+		ex.Dispatch(ctx, req)
+	})
+	ex.Wait()
+	wall := clock.Now().Sub(start)
+	if err := ctx.Err(); err != nil {
+		return PhaseReport{}, err
+	}
+	ph := PhaseReport{
+		Name:       name,
+		OfferedRPS: rps,
+		DurationMs: float64(wall) / float64(time.Millisecond),
+		Mix:        mix,
+		Frac429:    collect.Frac429(),
+		Classes:    collect.ByClass(),
+		Total:      collect.Total(),
+	}
+	if wall > 0 {
+		ph.AchievedRPS = float64(dispatched) / wall.Seconds()
+	}
+	return ph, nil
+}

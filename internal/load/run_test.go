@@ -1,0 +1,298 @@
+package load
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppcsim"
+	"ppcsim/internal/serve"
+)
+
+// stubServer builds a real serving stack whose simulation runner is a
+// fixed 1ms sleep: real queue/429/cache dynamics with a deterministic
+// per-request cost, so capacity is exactly workers/1ms.
+func stubServer(t *testing.T, workers, queue int) *serve.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{
+		Workers:    workers,
+		QueueDepth: queue,
+		Runner: func(ctx context.Context, opts ppcsim.Options) (ppcsim.Result, error) {
+			select {
+			case <-ctx.Done():
+				return ppcsim.Result{}, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			return ppcsim.Result{Policy: string(opts.Algorithm)}, nil
+		},
+	})
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// rampOnset runs one ramp against a fresh stub server and returns the
+// report. The geometry guarantees the outcome independent of host
+// timing: the clean step's total arrivals (100) fit inside the queue
+// (256), so it can never see a 429 even if every arrival lands at once,
+// while the overload step offers 1600 arrivals against a hard service
+// ceiling of 2 per millisecond, so at least half must be rejected.
+func rampOnset(t *testing.T, seed int64) *Report {
+	t.Helper()
+	srv := stubServer(t, 2, 256)
+	spec := &LoadSpec{
+		Seed:      seed,
+		Mode:      "ramp",
+		Mix:       &Mix{Cold: 1},
+		ColdRefs:  16,
+		SkipPrime: true,
+		Ramp:      &RampSpec{StartRPS: 400, StepRPS: 6000, MaxRPS: 6400, StepSeconds: 0.25},
+	}
+	r := &Runner{Spec: spec, Target: NewHandlerTarget("stub", srv.Handler())}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunnerRampFindsSaturation is the acceptance property at unit
+// scale: ramp mode finds the 429 onset, and two runs of one seed land
+// on the same step.
+func TestRunnerRampFindsSaturation(t *testing.T) {
+	rep1 := rampOnset(t, 11)
+	if rep1.Saturation == nil || !rep1.Saturation.Found {
+		t.Fatalf("saturation not found: %+v", rep1.Saturation)
+	}
+	if rep1.Saturation.OnsetRPS != 6400 || rep1.Saturation.MaxCleanRPS != 400 {
+		t.Fatalf("onset at %.0f (clean %.0f), want 6400 (clean 400)",
+			rep1.Saturation.OnsetRPS, rep1.Saturation.MaxCleanRPS)
+	}
+	if f := rep1.Phases[0].Frac429; f != 0 {
+		t.Fatalf("clean step saw %.2f%% 429s; arrivals fit the queue, so none are possible", 100*f)
+	}
+	if f := rep1.Saturation.Frac429AtOnset; f < 0.4 {
+		t.Fatalf("onset step rejected only %.2f%%, want at least ~50%% from the service ceiling", 100*f)
+	}
+	rep2 := rampOnset(t, 11)
+	if rep2.Saturation.OnsetRPS != rep1.Saturation.OnsetRPS {
+		t.Fatalf("same seed, different onset: %.0f vs %.0f", rep1.Saturation.OnsetRPS, rep2.Saturation.OnsetRPS)
+	}
+	// Consistency must have been tracked (each cold key exactly once).
+	if rep1.Consistency.CheckedBodies == 0 {
+		t.Fatal("no bodies reached the consistency checker")
+	}
+	if len(rep1.Consistency.MismatchedKeys) != 0 {
+		t.Fatalf("mismatched keys: %v", rep1.Consistency.MismatchedKeys)
+	}
+}
+
+// TestRunnerRampNotReached: a target that never backpressures exhausts
+// the ramp with Found=false and one phase per step.
+func TestRunnerRampNotReached(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:      1,
+		Mode:      "ramp",
+		SkipPrime: true,
+		ColdRefs:  8,
+		Ramp:      &RampSpec{StartRPS: 10, StepRPS: 10, MaxRPS: 30, StepSeconds: 1},
+	}
+	r := &Runner{Spec: spec, Target: okTarget{}, Clock: NewFakeClock()}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Saturation == nil || rep.Saturation.Found {
+		t.Fatalf("saturation = %+v, want not found", rep.Saturation)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (10, 20, 30 rps)", len(rep.Phases))
+	}
+	for i, want := range []float64{10, 20, 30} {
+		if rep.Phases[i].OfferedRPS != want {
+			t.Fatalf("phase %d offered %.0f, want %.0f", i, rep.Phases[i].OfferedRPS, want)
+		}
+	}
+}
+
+// TestRunnerBurstPhases runs burst mode on a fake clock: the square
+// wave must produce low/high phase pairs per cycle at exact nominal
+// durations, with achieved == offered (nothing shed, clock exact).
+func TestRunnerBurstPhases(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:      3,
+		Mode:      "burst",
+		SkipPrime: true,
+		ColdRefs:  8,
+		Burst:     &BurstSpec{LowRPS: 10, HighRPS: 40, PeriodSeconds: 2, Cycles: 2},
+	}
+	r := &Runner{Spec: spec, Target: okTarget{}, Clock: NewFakeClock()}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"burst c0 low", "burst c0 high", "burst c1 low", "burst c1 high"}
+	wantRPS := []float64{10, 40, 10, 40}
+	if len(rep.Phases) != len(wantNames) {
+		t.Fatalf("phases = %d, want %d", len(rep.Phases), len(wantNames))
+	}
+	for i, ph := range rep.Phases {
+		if ph.Name != wantNames[i] || ph.OfferedRPS != wantRPS[i] {
+			t.Fatalf("phase %d = %q@%.0f, want %q@%.0f", i, ph.Name, ph.OfferedRPS, wantNames[i], wantRPS[i])
+		}
+		if ph.DurationMs != 1000 {
+			t.Fatalf("phase %d duration %.1fms, want exactly the nominal 1000ms on a fake clock", i, ph.DurationMs)
+		}
+		if ph.AchievedRPS != ph.OfferedRPS {
+			t.Fatalf("phase %d achieved %.2f, offered %.2f", i, ph.AchievedRPS, ph.OfferedRPS)
+		}
+		if ph.Total.Shed != 0 {
+			t.Fatalf("phase %d shed %d", i, ph.Total.Shed)
+		}
+	}
+}
+
+// TestRunnerSweepGrid crosses the RPS grid with a mix grid and checks
+// every cell runs with its own mix.
+func TestRunnerSweepGrid(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:      4,
+		Mode:      "sweep",
+		SkipPrime: true,
+		ColdRefs:  8,
+		Sweep: &SweepSpec{
+			RPS:             []float64{20, 30},
+			Mixes:           []Mix{{Cold: 1}, {Cached: 1}},
+			SecondsPerPoint: 1,
+		},
+	}
+	r := &Runner{Spec: spec, Target: okTarget{}, Clock: NewFakeClock()}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(rep.Phases))
+	}
+	for i, ph := range rep.Phases {
+		wantClass := ClassCold
+		if i >= 2 { // second mix row
+			wantClass = ClassCached
+		}
+		for _, cl := range Classes {
+			st := ph.Classes[string(cl)]
+			if cl == wantClass && st.Sent == 0 {
+				t.Fatalf("phase %s: class %s never sent", ph.Name, cl)
+			}
+			if cl != wantClass && st.Sent != 0 {
+				t.Fatalf("phase %s: class %s sent %d under a single-class mix", ph.Name, cl, st.Sent)
+			}
+		}
+	}
+}
+
+// countingTarget counts requests and answers 200 with a fixed body.
+type countingTarget struct{ n atomic.Int64 }
+
+func (c *countingTarget) Name() string { return "counting" }
+func (c *countingTarget) Do(ctx context.Context, body []byte) TargetResult {
+	c.n.Add(1)
+	return TargetResult{Status: 200, Body: []byte("fixed")}
+}
+
+// TestRunnerPrimesPool: without SkipPrime the runner touches every
+// finite-pool key once before phase one, and those bodies feed the
+// consistency checker.
+func TestRunnerPrimesPool(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:  5,
+		Mode:  "sweep",
+		Mix:   &Mix{Malformed: 1}, // phases send nothing well-formed
+		Sweep: &SweepSpec{RPS: []float64{5}, SecondsPerPoint: 1},
+	}
+	gen, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolSize := len(gen.PoolRequests())
+	tgt := &countingTarget{}
+	r := &Runner{Spec: spec, Target: tgt, Clock: NewFakeClock()}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phaseSent := rep.Phases[0].Total.Sent
+	if got := tgt.n.Load(); got != int64(poolSize)+phaseSent {
+		t.Fatalf("target saw %d requests, want %d pool + %d phase", got, poolSize, phaseSent)
+	}
+	if rep.Consistency.CheckedBodies != int64(poolSize) {
+		t.Fatalf("checker saw %d bodies, want the %d pool responses", rep.Consistency.CheckedBodies, poolSize)
+	}
+}
+
+// versionedTarget returns a body chosen at construction — two runs with
+// different bodies simulate a server whose cache broke byte-identity.
+type versionedTarget struct{ body string }
+
+func (v *versionedTarget) Name() string { return "versioned" }
+func (v *versionedTarget) Do(ctx context.Context, body []byte) TargetResult {
+	return TargetResult{Status: 200, Body: []byte(v.body)}
+}
+
+// TestRunnerSharedCheckerAcrossRuns: one Consistency passed to two runs
+// extends byte-identity across them, and a cross-run divergence fails
+// the second run's verdict.
+func TestRunnerSharedCheckerAcrossRuns(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:      6,
+		Mode:      "sweep",
+		Mix:       &Mix{Cached: 1}, // repeats a fixed key pool
+		SkipPrime: true,
+		Sweep:     &SweepSpec{RPS: []float64{20}, SecondsPerPoint: 1},
+	}
+	check := NewConsistency()
+	run := func(body string) *Report {
+		r := &Runner{Spec: spec, Target: &versionedTarget{body: body}, Clock: NewFakeClock(), Check: check}
+		rep, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep1 := run("v1")
+	if len(rep1.Consistency.MismatchedKeys) != 0 {
+		t.Fatalf("run 1 mismatches: %v", rep1.Consistency.MismatchedKeys)
+	}
+	rep2 := run("v2")
+	if len(rep2.Consistency.MismatchedKeys) == 0 {
+		t.Fatal("cross-run body change not detected by the shared checker")
+	}
+	if rep2.SLO == nil || rep2.SLO.Pass {
+		t.Fatal("byte-identity break must fail the verdict")
+	}
+}
+
+// TestRunnerRejectsInvalidSpec: Run validates before generating.
+func TestRunnerRejectsInvalidSpec(t *testing.T) {
+	r := &Runner{Spec: &LoadSpec{Mode: "warp"}, Target: okTarget{}}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestRunnerCancel: a canceled context stops the run with its error.
+func TestRunnerCancel(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:      7,
+		Mode:      "sweep",
+		SkipPrime: true,
+		ColdRefs:  8,
+		Sweep:     &SweepSpec{RPS: []float64{10}, SecondsPerPoint: 1},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Spec: spec, Target: okTarget{}, Clock: NewFakeClock()}
+	if _, err := r.Run(ctx); err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+}

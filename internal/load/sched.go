@@ -1,0 +1,119 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Timeline is one phase's precomputed arrival schedule: monotone
+// offsets from the phase start at which requests are dispatched,
+// open-loop — an arrival is dispatched at its instant whether or not
+// earlier requests have completed, which is what lets offered load
+// exceed service capacity and expose the saturation point (a
+// closed-loop driver would throttle itself and never find it).
+type Timeline []time.Duration
+
+// NewTimeline builds the deterministic arrival schedule for one phase:
+// ceil(rps·duration) arrivals on a uniform grid of gap 1/rps, each
+// jittered uniformly within [i·gap, i·gap + jitter·gap). jitter in
+// [0,1] keeps the schedule monotone while breaking lockstep with any
+// periodic behavior in the server. The rng is consumed once per
+// arrival, in order.
+func NewTimeline(rps float64, duration time.Duration, jitter float64, rng *rand.Rand) Timeline {
+	gap := float64(time.Second) / rps
+	n := int(float64(duration) / gap)
+	if float64(n)*gap < float64(duration) {
+		n++
+	}
+	tl := make(Timeline, n)
+	for i := range tl {
+		tl[i] = time.Duration(float64(i)*gap + jitter*gap*rng.Float64())
+	}
+	return tl
+}
+
+// JitterBound returns the half-open upper bound of arrival i's offset
+// under the same parameters; the lower bound is i·gap. Tests assert
+// every generated offset lies in [Lower, Upper).
+func (tl Timeline) JitterBound(i int, rps, jitter float64) (lower, upper time.Duration) {
+	gap := float64(time.Second) / rps
+	return time.Duration(float64(i) * gap), time.Duration(float64(i)*gap + jitter*gap + 1)
+}
+
+// dispatchFunc sends one pre-generated request. It is invoked on the
+// scheduler goroutine at the arrival instant and must not block on the
+// request's completion (the executor hands the wait to a response
+// goroutine).
+type dispatchFunc func(i int, req GenRequest)
+
+// runTimeline walks a phase's schedule on the given clock, dispatching
+// reqs[i] at offset tl[i] from the phase start. It returns the phase's
+// measured wall duration (dispatch of the last arrival relative to the
+// phase start, plus the tail of the nominal duration) and the number of
+// arrivals actually dispatched before ctx was canceled.
+func runTimeline(ctx context.Context, clock Clock, tl Timeline, reqs []GenRequest, nominal time.Duration, dispatch dispatchFunc) (dispatched int) {
+	start := clock.Now()
+	for i, at := range tl {
+		if ctx.Err() != nil {
+			return i
+		}
+		if d := at - clock.Now().Sub(start); d > 0 {
+			clock.Sleep(d)
+		}
+		dispatch(i, reqs[i])
+	}
+	// Hold the phase open to its nominal end so the last arrivals'
+	// responses are attributed to this phase's wall window.
+	if d := nominal - clock.Now().Sub(start); d > 0 {
+		clock.Sleep(d)
+	}
+	return len(tl)
+}
+
+// Executor turns dispatches into bounded concurrent requests against a
+// Target. Open-loop load must not block the scheduler, so each dispatch
+// runs on its own goroutine; the in-flight cap bounds memory when the
+// target is far past saturation, counting arrivals over the cap as
+// shed instead of queueing them (queueing would close the loop).
+type Executor struct {
+	target  Target
+	clock   Clock
+	collect *Collector
+	slots   chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewExecutor builds an executor with the given in-flight cap.
+func NewExecutor(target Target, clock Clock, collect *Collector, maxInFlight int) *Executor {
+	return &Executor{
+		target:  target,
+		clock:   clock,
+		collect: collect,
+		slots:   make(chan struct{}, maxInFlight),
+	}
+}
+
+// Dispatch sends one request without blocking the caller. If every
+// in-flight slot is taken the request is shed and counted, preserving
+// the open-loop arrival process with bounded memory.
+func (e *Executor) Dispatch(ctx context.Context, req GenRequest) {
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		e.collect.Shed(req.Class)
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer func() { <-e.slots }()
+		start := e.clock.Now()
+		res := e.target.Do(ctx, req.Body)
+		e.collect.Record(req, res, e.clock.Now().Sub(start))
+	}()
+}
+
+// Wait blocks until every dispatched request has completed.
+func (e *Executor) Wait() { e.wg.Wait() }

@@ -1,0 +1,200 @@
+package load
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimelineExactGrid pins the jitter-free schedule: arrival i sits
+// exactly on the uniform grid i/rps, and the count covers the duration.
+func TestTimelineExactGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tl := NewTimeline(100, time.Second, 0, rng)
+	if len(tl) != 100 {
+		t.Fatalf("100 rps over 1s: want 100 arrivals, got %d", len(tl))
+	}
+	for i, at := range tl {
+		want := time.Duration(float64(i) * float64(time.Second) / 100)
+		if at != want {
+			t.Fatalf("arrival %d at %v, want exactly %v", i, at, want)
+		}
+	}
+}
+
+// TestTimelineJitterBounds asserts every jittered arrival stays inside
+// its slot [i·gap, i·gap + jitter·gap) — the bound that keeps the
+// schedule monotone — and that the same seed reproduces the same
+// schedule while a different seed does not.
+func TestTimelineJitterBounds(t *testing.T) {
+	const rps, jitter = 250.0, 0.5
+	tl := NewTimeline(rps, 2*time.Second, jitter, rand.New(rand.NewSource(7)))
+	if len(tl) != 500 {
+		t.Fatalf("250 rps over 2s: want 500 arrivals, got %d", len(tl))
+	}
+	for i, at := range tl {
+		lo, hi := tl.JitterBound(i, rps, jitter)
+		if at < lo || at >= hi {
+			t.Fatalf("arrival %d at %v outside [%v, %v)", i, at, lo, hi)
+		}
+		if i > 0 && at <= tl[i-1] {
+			t.Fatalf("schedule not strictly monotone at %d: %v after %v", i, at, tl[i-1])
+		}
+	}
+	same := NewTimeline(rps, 2*time.Second, jitter, rand.New(rand.NewSource(7)))
+	for i := range tl {
+		if tl[i] != same[i] {
+			t.Fatalf("same seed diverged at arrival %d: %v vs %v", i, tl[i], same[i])
+		}
+	}
+	other := NewTimeline(rps, 2*time.Second, jitter, rand.New(rand.NewSource(8)))
+	diff := false
+	for i := range tl {
+		if tl[i] != other[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestTimelineCeilCount pins the arrival count to ceil(rps·duration)
+// across awkward rates.
+func TestTimelineCeilCount(t *testing.T) {
+	for _, tc := range []struct {
+		rps float64
+		dur time.Duration
+	}{
+		{3, time.Second}, {7, 1500 * time.Millisecond}, {0.5, 3 * time.Second}, {1000, 333 * time.Millisecond},
+	} {
+		tl := NewTimeline(tc.rps, tc.dur, 0.3, rand.New(rand.NewSource(1)))
+		want := int(math.Ceil(tc.rps * tc.dur.Seconds()))
+		if len(tl) != want {
+			t.Errorf("%v rps over %v: want %d arrivals, got %d", tc.rps, tc.dur, want, len(tl))
+		}
+	}
+}
+
+// TestRunTimelineFakeClockDispatch drives the open-loop walker on a
+// fake clock and asserts the exact dispatch timeline: every request is
+// dispatched at precisely its scheduled offset, with no wall-clock
+// sleeping (the whole phase runs in microseconds), and the clock ends
+// at the nominal phase end.
+func TestRunTimelineFakeClockDispatch(t *testing.T) {
+	clock := NewFakeClock()
+	start := clock.Now()
+	rng := rand.New(rand.NewSource(3))
+	const rps, dur = 50.0, 2 * time.Second
+	tl := NewTimeline(rps, dur, 0.5, rng)
+	reqs := make([]GenRequest, len(tl))
+	var gotAt []time.Duration
+	n := runTimeline(context.Background(), clock, tl, reqs, dur, func(i int, req GenRequest) {
+		gotAt = append(gotAt, clock.Now().Sub(start))
+	})
+	if n != len(tl) {
+		t.Fatalf("dispatched %d of %d", n, len(tl))
+	}
+	for i, at := range gotAt {
+		if at != tl[i] {
+			t.Fatalf("request %d dispatched at %v, scheduled %v", i, at, tl[i])
+		}
+	}
+	if end := clock.Now().Sub(start); end != dur {
+		t.Fatalf("phase ended at %v, want nominal %v", end, dur)
+	}
+	// The fake clock saw only forward sleeps; none may be negative.
+	for _, d := range clock.Slept() {
+		if d < 0 {
+			t.Fatalf("scheduler slept a negative duration %v", d)
+		}
+	}
+}
+
+// TestRunTimelineCancel stops dispatch at context cancellation.
+func TestRunTimelineCancel(t *testing.T) {
+	clock := NewFakeClock()
+	tl := NewTimeline(100, time.Second, 0, rand.New(rand.NewSource(1)))
+	reqs := make([]GenRequest, len(tl))
+	ctx, cancel := context.WithCancel(context.Background())
+	n := runTimeline(ctx, clock, tl, reqs, time.Second, func(i int, req GenRequest) {
+		if i == 9 {
+			cancel()
+		}
+	})
+	if n != 10 {
+		t.Fatalf("dispatched %d requests after cancel at the 10th, want 10", n)
+	}
+}
+
+// blockingTarget blocks every Do until released, for in-flight tests.
+type blockingTarget struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingTarget) Name() string { return "blocking" }
+func (b *blockingTarget) Do(ctx context.Context, body []byte) TargetResult {
+	b.entered <- struct{}{}
+	<-b.release
+	return TargetResult{Status: 200}
+}
+
+// TestExecutorShedsAtInFlightCap dispatches past the in-flight cap and
+// asserts overflow arrivals are shed (counted, never queued) — the
+// property that keeps the generator open-loop with bounded memory.
+func TestExecutorShedsAtInFlightCap(t *testing.T) {
+	tgt := &blockingTarget{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	collect := NewCollector(nil)
+	ex := NewExecutor(tgt, RealClock(), collect, 2)
+	for i := 0; i < 5; i++ {
+		ex.Dispatch(context.Background(), GenRequest{Class: ClassCold})
+		if i == 1 {
+			// Let both slot-holders actually enter the target before
+			// overflowing, so exactly 2 are in flight.
+			<-tgt.entered
+			<-tgt.entered
+		}
+	}
+	close(tgt.release)
+	ex.Wait()
+	st := collect.ByClass()[string(ClassCold)]
+	if st.Shed != 3 || st.Sent != 2 {
+		t.Fatalf("want 2 sent + 3 shed, got sent=%d shed=%d", st.Sent, st.Shed)
+	}
+}
+
+// TestExecutorConcurrentRecords hammers one executor from many
+// dispatches to give the race detector a surface over the collector.
+func TestExecutorConcurrentRecords(t *testing.T) {
+	collect := NewCollector(NewConsistency())
+	ex := NewExecutor(okTarget{}, RealClock(), collect, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ex.Dispatch(context.Background(), GenRequest{Class: ClassCached, Key: "k", Body: nil})
+			}
+		}()
+	}
+	wg.Wait()
+	ex.Wait()
+	st := collect.ByClass()[string(ClassCached)]
+	if st.Sent+st.Shed != 400 {
+		t.Fatalf("sent %d + shed %d != 400", st.Sent, st.Shed)
+	}
+}
+
+// okTarget answers 200 with a fixed body immediately.
+type okTarget struct{}
+
+func (okTarget) Name() string { return "ok" }
+func (okTarget) Do(ctx context.Context, body []byte) TargetResult {
+	return TargetResult{Status: 200, Body: []byte(`{"ok":true}`)}
+}

@@ -1,0 +1,185 @@
+package load
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"ppcsim"
+)
+
+func floatp(v float64) *float64 { return &v }
+
+// validRampJSON is a minimal accepted ramp spec reused across tests.
+const validRampJSON = `{"seed":7,"mode":"ramp","ramp":{"start_rps":100,"step_rps":100,"max_rps":500,"step_seconds":1}}`
+
+// TestParseLoadSpecAccepts covers one valid document per mode.
+func TestParseLoadSpecAccepts(t *testing.T) {
+	for name, doc := range map[string]string{
+		"ramp":  validRampJSON,
+		"sweep": `{"mode":"sweep","sweep":{"rps":[50,100],"seconds_per_point":2,"mixes":[{"cold":1},{"cached":3,"malformed":1}]}}`,
+		"burst": `{"mode":"burst","mix":{"cached":1},"jitter_fraction":0.25,"slo":{"p99_ms":{"cached":50},"max_error_fraction":0.01},"burst":{"low_rps":10,"high_rps":200,"period_seconds":2,"cycles":3}}`,
+	} {
+		spec, err := ParseLoadSpec([]byte(doc))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if spec.Mode != name {
+			t.Errorf("%s: parsed mode %q", name, spec.Mode)
+		}
+	}
+}
+
+// TestParseLoadSpecRejects is the boundary table: every rejection must
+// be a *ppcsim.ConfigError naming the offending field.
+func TestParseLoadSpecRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		doc   string
+		field string
+	}{
+		{"bad json", `{`, "LoadSpec"},
+		{"trailing data", validRampJSON + ` {"x":1}`, "LoadSpec"},
+		{"unknown field", `{"mode":"ramp","turbo":true}`, "LoadSpec"},
+		{"missing mode", `{"seed":1}`, "Mode"},
+		{"unknown mode", `{"mode":"stampede"}`, "Mode"},
+		{"negative mix weight", `{"mode":"ramp","mix":{"cold":-1},"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "Mix"},
+		{"all-zero mix", `{"mode":"ramp","mix":{},"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "Mix"},
+		{"jitter above one", `{"mode":"ramp","jitter_fraction":1.5,"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "JitterFraction"},
+		{"negative in-flight", `{"mode":"ramp","max_in_flight":-1,"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "MaxInFlight"},
+		{"oversize too big", `{"mode":"ramp","oversize_bytes":67108865,"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "OversizeBytes"},
+		{"cold refs too big", `{"mode":"ramp","cold_refs":1048577,"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "ColdRefs"},
+		{"ramp without block", `{"mode":"ramp"}`, "Ramp"},
+		{"ramp zero start", `{"mode":"ramp","ramp":{"start_rps":0,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "Ramp.StartRPS"},
+		{"ramp zero step", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":0,"max_rps":2,"step_seconds":1}}`, "Ramp.StepRPS"},
+		{"ramp max below start", `{"mode":"ramp","ramp":{"start_rps":10,"step_rps":1,"max_rps":5,"step_seconds":1}}`, "Ramp.MaxRPS"},
+		{"ramp zero seconds", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":0}}`, "Ramp.StepSeconds"},
+		{"ramp onset above one", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1,"onset_429_fraction":2}}`, "Ramp.Onset429Fraction"},
+		{"ramp too many steps", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":0.001,"max_rps":1000,"step_seconds":1}}`, "Ramp.StepRPS"},
+		{"ramp top step too big", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":999999,"max_rps":1000000,"step_seconds":3600}}`, "Ramp.MaxRPS"},
+		{"ramp rps over cap", `{"mode":"ramp","ramp":{"start_rps":999999,"step_rps":1000000,"max_rps":2000000,"step_seconds":0.001}}`, "Ramp.MaxRPS"},
+		{"sweep without block", `{"mode":"sweep"}`, "Sweep"},
+		{"sweep empty grid", `{"mode":"sweep","sweep":{"rps":[],"seconds_per_point":1}}`, "Sweep.RPS"},
+		{"sweep zero point", `{"mode":"sweep","sweep":{"rps":[100,0],"seconds_per_point":1}}`, "Sweep.RPS[1]"},
+		{"sweep bad mix row", `{"mode":"sweep","sweep":{"rps":[10],"seconds_per_point":1,"mixes":[{"cached":1},{"cold":-3}]}}`, "Sweep.Mixes[1]"},
+		{"sweep long point", `{"mode":"sweep","sweep":{"rps":[10],"seconds_per_point":4000}}`, "Sweep.SecondsPerPoint"},
+		{"burst without block", `{"mode":"burst"}`, "Burst"},
+		{"burst high below low", `{"mode":"burst","burst":{"low_rps":100,"high_rps":50,"period_seconds":2,"cycles":1}}`, "Burst.HighRPS"},
+		{"burst zero cycles", `{"mode":"burst","burst":{"low_rps":1,"high_rps":2,"period_seconds":2,"cycles":0}}`, "Burst.Cycles"},
+		{"cross-mode ramp block", `{"mode":"sweep","sweep":{"rps":[10],"seconds_per_point":1},"ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1}}`, "Ramp"},
+		{"cross-mode burst block", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1},"burst":{"low_rps":1,"high_rps":2,"period_seconds":2,"cycles":1}}`, "Burst"},
+		{"slo unknown class", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1},"slo":{"p99_ms":{"warm":10}}}`, "SLO.P99Ms"},
+		{"slo zero ceiling", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1},"slo":{"p99_ms":{"cached":0}}}`, "SLO.P99Ms"},
+		{"slo bad error fraction", `{"mode":"ramp","ramp":{"start_rps":1,"step_rps":1,"max_rps":2,"step_seconds":1},"slo":{"max_error_fraction":1.5}}`, "SLO.MaxErrorFraction"},
+	}
+	for _, tc := range cases {
+		_, err := ParseLoadSpec([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ce *ppcsim.ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %T is not a ConfigError: %v", tc.name, err, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: error field %q, want %q (%v)", tc.name, ce.Field, tc.field, err)
+		}
+	}
+}
+
+// TestLoadSpecRoundTrip marshals a fully-populated spec and re-parses
+// it: validation must hold, and the re-marshal must be byte-identical —
+// the property that keeps a report's embedded spec replayable.
+func TestLoadSpecRoundTrip(t *testing.T) {
+	spec := &LoadSpec{
+		Seed:           42,
+		Mode:           "sweep",
+		Mix:            &Mix{Cached: 5, Cold: 3, Malformed: 1},
+		JitterFraction: floatp(0.3),
+		MaxInFlight:    128,
+		OversizeBytes:  1 << 16,
+		ColdRefs:       64,
+		SkipPrime:      true,
+		Sweep:          &SweepSpec{RPS: []float64{50, 100}, SecondsPerPoint: 1.5, Mixes: []Mix{{Cold: 1}}},
+		SLO:            &SLOSpec{P99Ms: map[string]float64{"cached": 25}, MaxErrorFraction: floatp(0.02)},
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLoadSpec(raw)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(again) {
+		t.Fatalf("round-trip changed bytes:\n%s\n%s", raw, again)
+	}
+}
+
+// TestSpecDefaults pins the resolved defaults the docs promise.
+func TestSpecDefaults(t *testing.T) {
+	s := &LoadSpec{Mode: "ramp", Ramp: &RampSpec{StartRPS: 1, StepRPS: 1, MaxRPS: 2, StepSeconds: 1}}
+	if s.mix() != DefaultMix {
+		t.Errorf("default mix = %+v", s.mix())
+	}
+	if got := s.jitterFraction(); got != 0.5 {
+		t.Errorf("default jitter = %g", got)
+	}
+	if got := s.maxInFlight(); got != 4096 {
+		t.Errorf("default max in-flight = %d", got)
+	}
+	if got := s.oversizeBytes(); got != 256<<10 {
+		t.Errorf("default oversize = %d", got)
+	}
+	if got := s.coldRefs(); got != 192 {
+		t.Errorf("default cold refs = %d", got)
+	}
+	if got := s.onset429Fraction(); got != 0.01 {
+		t.Errorf("default onset = %g", got)
+	}
+	s.Ramp.Onset429Fraction = 0.05
+	if got := s.onset429Fraction(); got != 0.05 {
+		t.Errorf("explicit onset = %g", got)
+	}
+}
+
+// TestMixWeights checks the weight table covers every class and the
+// default mix leans warm.
+func TestMixWeights(t *testing.T) {
+	m := Mix{Cached: 1, Cold: 2, Columnar: 3, Sweep: 4, Malformed: 5}
+	want := map[Class]float64{ClassCached: 1, ClassCold: 2, ClassColumnar: 3, ClassSweep: 4, ClassMalformed: 5}
+	for c, w := range want {
+		if got := m.Weight(c); got != w {
+			t.Errorf("weight(%s) = %g, want %g", c, got, w)
+		}
+	}
+	if m.total() != 15 {
+		t.Errorf("total = %g", m.total())
+	}
+	if DefaultMix.Cached <= DefaultMix.Cold {
+		t.Error("DefaultMix should lean toward cached traffic")
+	}
+	if err := DefaultMix.validate("Mix"); err != nil {
+		t.Errorf("DefaultMix invalid: %v", err)
+	}
+}
+
+// TestConfigErrorMessageNamesField makes the diagnostics greppable: the
+// rendered error must contain the field path.
+func TestConfigErrorMessageNamesField(t *testing.T) {
+	_, err := ParseLoadSpec([]byte(`{"mode":"sweep","sweep":{"rps":[100,-5],"seconds_per_point":1}}`))
+	if err == nil {
+		t.Fatal("accepted negative sweep point")
+	}
+	if !strings.Contains(err.Error(), "Sweep.RPS[1]") {
+		t.Fatalf("error does not name the field: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// TargetResult is one request's outcome as the client saw it: an HTTP
+// status plus response body, or a transport error. Timeout reports a
+// client-side deadline (the server-side analogue is a 504 status).
+type TargetResult struct {
+	Status   int
+	Body     []byte
+	CacheHit bool // X-Cache: hit
+	Err      error
+	Timeout  bool
+}
+
+// Target is where generated requests land: POST /v1/run on a real
+// ppc-serve or ppc-coord URL, an in-process serving handler, or a test
+// fake with a scripted capacity.
+type Target interface {
+	// Name identifies the target in the capacity report.
+	Name() string
+	// Do sends one /v1/run body and blocks until the response (or
+	// transport failure). It must be safe for concurrent use.
+	Do(ctx context.Context, body []byte) TargetResult
+}
+
+// HTTPTarget drives a v1 server over real HTTP.
+type HTTPTarget struct {
+	url    string
+	client *http.Client
+}
+
+// NewHTTPTarget builds a target POSTing to baseURL+"/v1/run" with the
+// given per-request timeout (0 means no client-side deadline; the
+// server's own deadline still applies).
+func NewHTTPTarget(baseURL string, timeout time.Duration) *HTTPTarget {
+	return &HTTPTarget{
+		url: baseURL + "/v1/run",
+		client: &http.Client{
+			Timeout: timeout,
+			// A load generator needs more idle connections per host than
+			// the transport default (2), or it measures connection setup.
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+		},
+	}
+}
+
+// Name implements Target.
+func (t *HTTPTarget) Name() string { return t.url }
+
+// Do implements Target.
+func (t *HTTPTarget) Do(ctx context.Context, body []byte) TargetResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.url, bytes.NewReader(body))
+	if err != nil {
+		return TargetResult{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return TargetResult{Err: err, Timeout: isTimeout(err)}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return TargetResult{Err: fmt.Errorf("reading response: %w", err), Timeout: isTimeout(err)}
+	}
+	return TargetResult{
+		Status:   resp.StatusCode,
+		Body:     data,
+		CacheHit: resp.Header.Get("X-Cache") == "hit",
+	}
+}
+
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// HandlerTarget drives an in-process http.Handler directly — the full
+// serving path (mux, boundary, envelope, backpressure) minus the TCP
+// stack. It is how ppc-load's embedded mode and the deterministic tests
+// reach a server without sockets.
+type HandlerTarget struct {
+	name string
+	h    http.Handler
+}
+
+// NewHandlerTarget wraps a serving handler.
+func NewHandlerTarget(name string, h http.Handler) *HandlerTarget {
+	return &HandlerTarget{name: name, h: h}
+}
+
+// Name implements Target.
+func (t *HandlerTarget) Name() string { return t.name }
+
+// Do implements Target.
+func (t *HandlerTarget) Do(ctx context.Context, body []byte) TargetResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return TargetResult{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.ContentLength = int64(len(body))
+	req.RemoteAddr = "embedded"
+	var rec responseRecorder
+	t.h.ServeHTTP(&rec, req)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	return TargetResult{
+		Status:   status,
+		Body:     rec.buf.Bytes(),
+		CacheHit: rec.Header().Get("X-Cache") == "hit",
+	}
+}
+
+// responseRecorder is the minimal in-memory http.ResponseWriter the
+// handler target needs (httptest's recorder without the test-only
+// surface, so the ppc-load binary does not import net/http/httptest).
+type responseRecorder struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header {
+	if r.hdr == nil {
+		r.hdr = make(http.Header)
+	}
+	return r.hdr
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.buf.Write(p)
+}
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+}

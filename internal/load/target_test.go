@@ -1,0 +1,110 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHTTPTarget drives the real-HTTP path end to end: status, body,
+// X-Cache parsing, and the client-side timeout classification.
+func TestHTTPTarget(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/run" {
+			t.Errorf("got %s %s, want POST /v1/run", r.Method, r.URL.Path)
+		}
+		if hits.Add(1) > 1 {
+			w.Header().Set("X-Cache", "hit")
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	tgt := NewHTTPTarget(srv.URL, 5*time.Second)
+	if tgt.Name() != srv.URL+"/v1/run" {
+		t.Fatalf("name = %q", tgt.Name())
+	}
+	res := tgt.Do(context.Background(), []byte(`{}`))
+	if res.Err != nil || res.Status != 200 || string(res.Body) != `{"ok":true}` || res.CacheHit {
+		t.Fatalf("first request: %+v", res)
+	}
+	res = tgt.Do(context.Background(), []byte(`{}`))
+	if !res.CacheHit {
+		t.Fatalf("X-Cache: hit not parsed: %+v", res)
+	}
+}
+
+// TestHTTPTargetTimeout: a stalled server must classify as Timeout, not
+// a generic transport error.
+func TestHTTPTargetTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release) // unblock the handler before Close waits on it
+
+	tgt := NewHTTPTarget(srv.URL, 20*time.Millisecond)
+	res := tgt.Do(context.Background(), []byte(`{}`))
+	if res.Err == nil || !res.Timeout {
+		t.Fatalf("stalled server: %+v", res)
+	}
+}
+
+// TestHTTPTargetRefused: a dead endpoint is a transport error.
+func TestHTTPTargetRefused(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // now nothing listens there
+	res := NewHTTPTarget(srv.URL, time.Second).Do(context.Background(), []byte(`{}`))
+	if res.Err == nil || res.Timeout {
+		t.Fatalf("dead endpoint: %+v", res)
+	}
+}
+
+// TestHandlerTargetStatuses checks the recorder reports explicit and
+// implicit statuses and headers.
+func TestHandlerTargetStatuses(t *testing.T) {
+	tgt := NewHandlerTarget("t", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Header.Get("Content-Type") {
+		case "application/json":
+			w.Header().Set("X-Cache", "hit")
+			w.WriteHeader(429)
+			w.Write([]byte("slow down"))
+		}
+	}))
+	res := tgt.Do(context.Background(), []byte(`{}`))
+	if res.Status != 429 || string(res.Body) != "slow down" || !res.CacheHit {
+		t.Fatalf("explicit status: %+v", res)
+	}
+	implicit := NewHandlerTarget("t", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	if res := implicit.Do(context.Background(), nil); res.Status != 200 {
+		t.Fatalf("implicit status: %+v", res)
+	}
+}
+
+// TestFakeClock pins the test clock: Sleep advances Now immediately and
+// records each interval.
+func TestFakeClock(t *testing.T) {
+	c := NewFakeClock()
+	start := c.Now()
+	c.Sleep(3 * time.Second)
+	c.Sleep(0)
+	c.Sleep(time.Millisecond)
+	if got := c.Now().Sub(start); got != 3*time.Second+time.Millisecond {
+		t.Fatalf("advanced %v", got)
+	}
+	slept := c.Slept()
+	if len(slept) != 3 || slept[0] != 3*time.Second || slept[2] != time.Millisecond {
+		t.Fatalf("slept = %v", slept)
+	}
+	if RealClock() == nil {
+		t.Fatal("RealClock() returned nil")
+	}
+}

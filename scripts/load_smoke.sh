@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end smoke test of the load harness.
+#
+# Runs a short ppc-load capacity ramp against the embedded server (the
+# full v1 handler path in-process) with a pinned worker/queue size, and
+# requires:
+#
+#   1. saturation (429 backpressure onset) is found below the ramp cap;
+#   2. the emitted LOAD report survives a strict re-parse (-check);
+#   3. the lowest step's p99 is sane (positive, below a generous floor —
+#      catching a broken collector, not a slow host);
+#   4. the run's SLO verdict passes (byte-identity + error fraction);
+#   5. a second run with the same seed reproduces the saturation point
+#      within one ramp step — the determinism claim a checked-in
+#      LOAD_<n>.json baseline rests on.
+#
+# Usage: scripts/load_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+STEP_RPS=12
+
+echo "== build"
+go build -o "$WORK/ppc-load" ./cmd/ppc-load
+
+# Geometry chosen for a sharp, host-independent knee: all-cold traffic
+# (cache hits cannot 429 and would dilute the signal) with large bodies
+# (~100k refs, ~70ms each), so per-request cost dominates scheduler and
+# host noise and capacity sits at a few dozen RPS where the open-loop
+# schedule is exact. Steps are ~2x capacity apart, so the loss fraction
+# jumps from ~0 straight past the 20% threshold in one step.
+cat > "$WORK/spec.json" <<EOF
+{
+  "seed": 7,
+  "mode": "ramp",
+  "mix": {"cold": 1},
+  "cold_refs": 100000,
+  "ramp": {
+    "start_rps": 6,
+    "step_rps": $STEP_RPS,
+    "max_rps": 90,
+    "step_seconds": 1,
+    "onset_429_fraction": 0.2
+  },
+  "slo": {"max_error_fraction": 0.005}
+}
+EOF
+
+run_ramp() { # $1 = output report path
+    "$WORK/ppc-load" -spec "$WORK/spec.json" -workers 2 -queue 4 -o "$1"
+}
+
+echo "== ramp run 1 (embedded server, workers=2 queue=4)"
+run_ramp "$WORK/LOAD_a.json"
+
+echo "== report round-trips through the strict parser"
+"$WORK/ppc-load" -check "$WORK/LOAD_a.json"
+
+echo "== saturation found, low-RPS p99 sane, SLO verdict PASS"
+python3 - "$WORK/LOAD_a.json" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+sat = rep["saturation"]
+assert sat["found"], f"no saturation below the ramp cap: {sat}"
+assert sat["onset_rps"] > sat["max_clean_rps"] >= 0, sat
+first = rep["phases"][0]
+p99 = first["total"]["latency"]["p99_ms"]
+assert 0 < p99 < 1000, f"first step p99 {p99}ms is not sane"
+assert first["frac_429"] < 0.2, f"lowest step already saturated: {first['frac_429']}"
+assert rep["slo"]["pass"], rep["slo"]
+assert not rep["consistency"].get("mismatched_keys"), rep["consistency"]
+print(f"onset {sat['onset_rps']:.0f} RPS (last clean {sat['max_clean_rps']:.0f}), "
+      f"low-step p99 {p99:.2f}ms, {rep['consistency']['checked_bodies']} bodies byte-identical")
+PY
+
+echo "== ramp run 2 (same seed): onset must agree within one step"
+run_ramp "$WORK/LOAD_b.json"
+python3 - "$WORK/LOAD_a.json" "$WORK/LOAD_b.json" "$STEP_RPS" <<'PY'
+import json, sys
+a = json.load(open(sys.argv[1]))["saturation"]
+b = json.load(open(sys.argv[2]))["saturation"]
+step = float(sys.argv[3])
+assert b["found"], f"run 2 found no saturation: {b}"
+drift = abs(a["onset_rps"] - b["onset_rps"])
+assert drift <= step, f"onset drifted {drift:.0f} RPS across runs (> one {step:.0f} RPS step)"
+print(f"reproducible: onset {a['onset_rps']:.0f} vs {b['onset_rps']:.0f} RPS (|drift| {drift:.0f} <= {step:.0f})")
+PY
+
+echo "PASS"
