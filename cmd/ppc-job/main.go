@@ -9,7 +9,15 @@
 //
 //	ppc-job -coord http://localhost:8070 -trace synth -algs demand,aggressive -disks 1,2
 //	ppc-job -coord http://localhost:8070 -spec job.json
+//	ppc-job -coord ... -large 1e9:65536:zipf:1 -windows 4096 -algs forestall
+//	ppc-job -coord ... -trace-file big.coltrace -windows 4096
 //	ppc-job ... -csv -o out.csv
+//
+// -large submits a generator spec: workers synthesize the reference
+// stream locally, so a 10^9-reference sweep costs no trace bytes on the
+// wire. -trace-file hashes a columnar trace file, uploads it to the
+// cluster if no worker holds it yet, and submits the job by hash; both
+// stream on the workers and therefore require -windows.
 //
 // The job summary goes to stderr; the exit status is zero only when the
 // coordinator reports the grid complete.
@@ -33,6 +41,7 @@ import (
 	"ppcsim"
 	"ppcsim/internal/serve"
 	"ppcsim/internal/serve/coord"
+	"ppcsim/internal/serve/tracestore"
 )
 
 func splitList(s string) []string {
@@ -62,6 +71,8 @@ func main() {
 		coordURL = flag.String("coord", "http://localhost:8070", "coordinator base URL")
 		specPath = flag.String("spec", "", "JobSpec JSON file ('-' = stdin; overrides the grid flags)")
 		traceFlg = flag.String("trace", "synth", "bundled trace name")
+		largeFlg = flag.String("large", "", "stream a synthetic trace on the workers: refs[:blocks[:pattern[:seed]]] (requires -windows)")
+		traceFl  = flag.String("trace-file", "", "columnar trace file to run by hash, uploading it to the cluster if absent (requires -windows)")
 		algs     = flag.String("algs", "fixed-horizon,aggressive,forestall", "comma-separated algorithms")
 		disks    = flag.String("disks", "", "comma-separated disk counts (empty = simulator default)")
 		caches   = flag.String("caches", "", "comma-separated cache sizes (empty = trace default)")
@@ -81,7 +92,36 @@ func main() {
 		os.Exit(1)
 	}
 
-	body, err := buildSpec(*specPath, *traceFlg, *algs, *disks, *caches, *windows, *sched, *hintFrac, *hintAcc, *timeout)
+	if *largeFlg != "" && *traceFl != "" {
+		die(fmt.Errorf("-large and -trace-file are mutually exclusive"))
+	}
+	if *largeFlg != "" || *traceFl != "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "trace" {
+				die(fmt.Errorf("-trace cannot be combined with -large or -trace-file"))
+			}
+		})
+	}
+	base := strings.TrimRight(*coordURL, "/")
+
+	var largeSpec *ppcsim.LargeTraceSpec
+	if *largeFlg != "" {
+		spec, err := ppcsim.ParseLargeTraceSpec(*largeFlg)
+		if err != nil {
+			die(err)
+		}
+		largeSpec = &spec
+	}
+	traceHash := ""
+	if *traceFl != "" {
+		h, err := ensureTrace(base, *traceFl, *retryFor)
+		if err != nil {
+			die(err)
+		}
+		traceHash = h
+	}
+
+	body, err := buildSpec(*specPath, *traceFlg, *algs, *disks, *caches, *windows, *sched, *hintFrac, *hintAcc, *timeout, largeSpec, traceHash)
 	if err != nil {
 		die(err)
 	}
@@ -106,7 +146,7 @@ func main() {
 		w = f
 	}
 
-	resp, err := submit(strings.TrimRight(*coordURL, "/")+"/v1/jobs", body, *retryFor)
+	resp, err := submit(base+"/v1/jobs", body, *retryFor)
 	if err != nil {
 		die(err)
 	}
@@ -132,7 +172,7 @@ func main() {
 }
 
 // buildSpec assembles the JobSpec body from -spec or from the grid flags.
-func buildSpec(specPath, trace, algs, disks, caches, windows, sched string, hintFrac, hintAcc, timeoutMs float64) ([]byte, error) {
+func buildSpec(specPath, trace, algs, disks, caches, windows, sched string, hintFrac, hintAcc, timeoutMs float64, large *ppcsim.LargeTraceSpec, traceHash string) ([]byte, error) {
 	if specPath != "" {
 		if specPath == "-" {
 			return io.ReadAll(os.Stdin)
@@ -140,7 +180,23 @@ func buildSpec(specPath, trace, algs, disks, caches, windows, sched string, hint
 		return os.ReadFile(specPath)
 	}
 	js := coord.JobSpec{Algorithms: splitList(algs), TimeoutMs: timeoutMs}
-	js.Trace = trace
+	switch {
+	case large != nil:
+		js.TraceSpec = &serve.TraceSpec{
+			Name:          large.Name,
+			Refs:          large.Refs,
+			Blocks:        large.Blocks,
+			Files:         large.Files,
+			Pattern:       large.Pattern,
+			MeanComputeMs: large.MeanComputeMs,
+			Seed:          large.Seed,
+			CacheBlocks:   large.CacheBlocks,
+		}
+	case traceHash != "":
+		js.TraceHash = traceHash
+	default:
+		js.Trace = trace
+	}
 	js.Scheduler = sched
 	var err error
 	if js.DiskCounts, err = splitInts(disks); err != nil {
@@ -161,9 +217,17 @@ func buildSpec(specPath, trace, algs, disks, caches, windows, sched string, hint
 // submit posts the job, optionally retrying the connection while the
 // coordinator is still starting (scripted cluster bring-up).
 func submit(url string, body []byte, retryFor time.Duration) (*http.Response, error) {
+	return retryDo(retryFor, func() (*http.Response, error) {
+		return http.Post(url, "application/json", bytes.NewReader(body))
+	})
+}
+
+// retryDo runs do, retrying connection-level failures every 100ms for up
+// to retryFor (an HTTP error status is a response, not a failure).
+func retryDo(retryFor time.Duration, do func() (*http.Response, error)) (*http.Response, error) {
 	var lastErr error
 	for waited := time.Duration(0); ; waited += 100 * time.Millisecond {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := do()
 		if err == nil {
 			return resp, nil
 		}
@@ -173,6 +237,58 @@ func submit(url string, body []byte, retryFor time.Duration) (*http.Response, er
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// ensureTrace hashes the columnar trace file at path and makes sure the
+// cluster holds it: a HEAD probe against the coordinator's trace store,
+// then a PUT of the file bytes on miss. Returns the store hash the job
+// should reference. The probe honors -retry-for so scripted bring-ups
+// can race the coordinator's startup.
+func ensureTrace(coordBase, path string, retryFor time.Duration) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	hash, _, err := tracestore.HashReader(f)
+	if err != nil {
+		return "", fmt.Errorf("hashing %s: %v", path, err)
+	}
+	url := coordBase + "/v1/traces/" + hash
+	resp, err := retryDo(retryFor, func() (*http.Response, error) {
+		return http.Head(url)
+	})
+	if err != nil {
+		return "", err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return hash, nil // already on a worker; preflight replicates as needed
+	case http.StatusNotFound:
+	default:
+		return "", fmt.Errorf("trace probe: %s", resp.Status)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPut, url, f)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	putResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer putResp.Body.Close()
+	if putResp.StatusCode != http.StatusCreated && putResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(putResp.Body, 4096))
+		return "", fmt.Errorf("trace upload: %s: %s", putResp.Status, strings.TrimSpace(string(msg)))
+	}
+	fmt.Fprintf(os.Stderr, "ppc-job: uploaded trace %s (%s)\n", hash[:12], path)
+	return hash, nil
 }
 
 // stream consumes the NDJSON job stream. In relay mode every line is
@@ -250,8 +366,14 @@ func writeCSV(w io.Writer, cells []coord.Cell, recs []coord.CellRecord) error {
 		if err := json.Unmarshal(rec.Result, &res); err != nil {
 			return fmt.Errorf("cell %d result: %v", rec.Index, err)
 		}
+		// The trace column must match what ppc-sweep prints for the
+		// equivalent local run: streamed cells carry their resolved trace
+		// name in the result itself; inline bodies have no local name.
 		traceName := spec.Trace
-		if traceName == "" {
+		switch {
+		case spec.TraceSpec != nil || spec.TraceHash != "":
+			traceName = res.Trace
+		case traceName == "":
 			traceName = "inline"
 		}
 		alg := spec.Algorithm

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppcsim"
+	"ppcsim/internal/serve"
+	"ppcsim/internal/serve/coord"
+	"ppcsim/internal/serve/tracestore"
+)
+
+func TestSplitHelpers(t *testing.T) {
+	if got := splitList(" a, ,b ,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList: %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList empty: %v", got)
+	}
+	ints, err := splitInts("1, 2,3")
+	if err != nil || len(ints) != 3 || ints[2] != 3 {
+		t.Errorf("splitInts: %v %v", ints, err)
+	}
+	if _, err := splitInts("1,x"); err == nil {
+		t.Error("splitInts accepted a non-integer")
+	}
+	if v := 7; intOr(&v, 1) != 7 || intOr(nil, 1) != 1 {
+		t.Error("intOr")
+	}
+}
+
+func TestBuildSpecVariants(t *testing.T) {
+	build := func(t *testing.T, specPath, trace, algs, disks, caches, windows, sched string, hf, ha, to float64, large *ppcsim.LargeTraceSpec, hash string) coord.JobSpec {
+		t.Helper()
+		body, err := buildSpec(specPath, trace, algs, disks, caches, windows, sched, hf, ha, to, large, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js coord.JobSpec
+		if err := json.Unmarshal(body, &js); err != nil {
+			t.Fatalf("buildSpec emitted unparseable JSON: %v\n%s", err, body)
+		}
+		return js
+	}
+
+	// Bundled-name grid with hints and axes.
+	js := build(t, "", "synth", "demand,aggressive", "1,2", "500", "64", "fcfs", 0.5, 0.9, 250, nil, "")
+	if js.Trace != "synth" || len(js.Algorithms) != 2 || len(js.DiskCounts) != 2 ||
+		js.Scheduler != "fcfs" || js.TimeoutMs != 250 {
+		t.Errorf("bundled spec: %+v", js)
+	}
+	if js.Hints == nil || js.Hints.Fraction != 0.5 || js.Hints.Accuracy != 0.9 {
+		t.Errorf("hints: %+v", js.Hints)
+	}
+
+	// Generator spec: the -large flag rides as trace_spec, no trace name.
+	large := ppcsim.LargeTraceSpec{Refs: 1000, Blocks: 64, Pattern: "zipf", Seed: 3}
+	js = build(t, "", "synth", "demand", "", "", "32", "", 1, 1, 0, &large, "")
+	if js.Trace != "" || js.TraceSpec == nil || js.TraceSpec.Refs != 1000 || js.TraceSpec.Pattern != "zipf" {
+		t.Errorf("large spec: %+v", js)
+	}
+	if js.Hints != nil {
+		t.Error("default hints must stay unset")
+	}
+
+	// Store hash wins over the bundled default.
+	hash := strings.Repeat("ab", 32)
+	js = build(t, "", "synth", "demand", "", "", "32", "", 1, 1, 0, nil, hash)
+	if js.Trace != "" || js.TraceHash != hash {
+		t.Errorf("hash spec: %+v", js)
+	}
+
+	// Bad axis integers are rejected.
+	if _, err := buildSpec("", "synth", "demand", "1,x", "", "", "", 1, 1, 0, nil, ""); err == nil {
+		t.Error("bad disk count accepted")
+	}
+
+	// -spec reads the file verbatim.
+	path := filepath.Join(t.TempDir(), "job.json")
+	if err := os.WriteFile(path, []byte(`{"raw":"bytes"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	body, err := buildSpec(path, "", "", "", "", "", "", 1, 1, 0, nil, "")
+	if err != nil || string(body) != `{"raw":"bytes"}` {
+		t.Errorf("spec file: %q %v", body, err)
+	}
+}
+
+func TestRetryDo(t *testing.T) {
+	calls := 0
+	resp, err := retryDo(0, func() (*http.Response, error) {
+		calls++
+		return &http.Response{StatusCode: 200}, nil
+	})
+	if err != nil || resp.StatusCode != 200 || calls != 1 {
+		t.Errorf("immediate success: %v %v calls=%d", resp, err, calls)
+	}
+
+	calls = 0
+	if _, err := retryDo(0, func() (*http.Response, error) {
+		calls++
+		return nil, errors.New("refused")
+	}); err == nil || calls != 1 {
+		t.Errorf("zero budget must not retry: %v calls=%d", err, calls)
+	}
+
+	calls = 0
+	resp, err = retryDo(300e6, func() (*http.Response, error) { // 300ms budget
+		calls++
+		if calls < 3 {
+			return nil, errors.New("refused")
+		}
+		return &http.Response{StatusCode: 200}, nil
+	})
+	if err != nil || resp.StatusCode != 200 || calls != 3 {
+		t.Errorf("retry until success: %v %v calls=%d", resp, err, calls)
+	}
+}
+
+func TestEnsureTrace(t *testing.T) {
+	blob := []byte("columnar bytes for hashing")
+	hash := tracestore.HashBytes(blob)
+	path := filepath.Join(t.TempDir(), "t.ppccol")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var headStatus int
+	var putBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/traces/") {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		switch r.Method {
+		case http.MethodHead:
+			w.WriteHeader(headStatus)
+		case http.MethodPut:
+			b := new(bytes.Buffer)
+			b.ReadFrom(r.Body)
+			putBody = b.Bytes()
+			w.WriteHeader(http.StatusCreated)
+		}
+	}))
+	defer ts.Close()
+
+	// Already held: HEAD 204, no upload.
+	headStatus, putBody = http.StatusNoContent, nil
+	h, err := ensureTrace(ts.URL, path, 0)
+	if err != nil || h != hash || putBody != nil {
+		t.Errorf("held trace: %q %v upload=%d bytes", h, err, len(putBody))
+	}
+
+	// Missing: HEAD 404 then PUT of the exact file bytes.
+	headStatus = http.StatusNotFound
+	h, err = ensureTrace(ts.URL, path, 0)
+	if err != nil || h != hash || !bytes.Equal(putBody, blob) {
+		t.Errorf("uploaded trace: %q %v bytes equal=%v", h, err, bytes.Equal(putBody, blob))
+	}
+
+	// Unexpected probe status is an error.
+	headStatus = http.StatusBadGateway
+	if _, err := ensureTrace(ts.URL, path, 0); err == nil {
+		t.Error("502 probe accepted")
+	}
+
+	// Missing file fails before any request.
+	if _, err := ensureTrace(ts.URL, filepath.Join(t.TempDir(), "absent"), 0); err == nil {
+		t.Error("absent file accepted")
+	}
+}
+
+// fakeStream renders NDJSON the way a coordinator would.
+func fakeStream(t *testing.T, recs []coord.CellRecord, sum *coord.Summary) string {
+	t.Helper()
+	var b strings.Builder
+	for _, rec := range recs {
+		rec.Type = "cell"
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	if sum != nil {
+		sum.Type = "summary"
+		line, err := json.Marshal(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestStreamRelayAndCSV(t *testing.T) {
+	spec, err := coord.ParseJobSpec([]byte(`{"trace_spec":{"refs":100,"blocks":16},"algorithms":["demand","aggressive"],"windows":[8]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Cells(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := []byte(`{"Trace":"large-loop-100","ElapsedSec":1.25,"ComputeSec":1,"StallTimeSec":0.25,"DriverTimeSec":0.1,"Fetches":42,"AvgFetchMs":9.5,"AvgResponseMs":10.25,"AvgUtilization":0.5}`)
+	recs := []coord.CellRecord{
+		{Index: 1, Key: "k1", Result: res},
+		{Index: 0, Key: "k0", Result: res},
+	}
+	sum := &coord.Summary{Complete: true, CellsTotal: 2, CellsDone: 2}
+
+	// Relay mode copies cell lines through verbatim and strips nothing.
+	var relay bytes.Buffer
+	got, err := stream(&relay, strings.NewReader(fakeStream(t, recs, sum)), cells, false)
+	if err != nil || got == nil || !got.Complete {
+		t.Fatalf("relay stream: %+v %v", got, err)
+	}
+	if n := strings.Count(relay.String(), "\n"); n != 2 {
+		t.Errorf("relay copied %d lines, want 2 cells", n)
+	}
+
+	// CSV mode sorts by index and renders the sweep dialect, naming
+	// streamed cells by the result's resolved trace.
+	var csvOut bytes.Buffer
+	if _, err := stream(&csvOut, strings.NewReader(fakeStream(t, recs, sum)), cells, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "trace,algorithm,") {
+		t.Fatalf("csv output:\n%s", csvOut.String())
+	}
+	if !strings.HasPrefix(lines[1], "large-loop-100,demand,1,CSCAN,") ||
+		!strings.HasPrefix(lines[2], "large-loop-100,aggressive,") {
+		t.Errorf("csv rows out of order or misnamed:\n%s", csvOut.String())
+	}
+	if !strings.Contains(lines[1], ",1.2500,") || !strings.Contains(lines[1], ",9.500,") {
+		t.Errorf("csv formatting drifted from the sweep dialect:\n%s", lines[1])
+	}
+
+	// A malformed line is a hard error.
+	if _, err := stream(&bytes.Buffer{}, strings.NewReader("not json\n"), cells, false); err == nil {
+		t.Error("malformed stream line accepted")
+	}
+
+	// An out-of-grid index is a hard error in CSV mode.
+	bad := fakeStream(t, []coord.CellRecord{{Index: 99, Result: res}}, sum)
+	if _, err := stream(&bytes.Buffer{}, strings.NewReader(bad), cells, true); err == nil {
+		t.Error("out-of-grid cell index accepted")
+	}
+
+	// Failed cells are skipped in CSV mode (reported on stderr), so the
+	// grid still renders the rows that completed.
+	withFail := fakeStream(t, []coord.CellRecord{
+		{Index: 0, Result: res},
+		{Index: 1, Error: &serve.ErrorDetail{Message: "boom"}},
+	}, sum)
+	var partial bytes.Buffer
+	if _, err := stream(&partial, strings.NewReader(withFail), cells, true); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(strings.TrimSpace(partial.String()), "\n"); n != 1 {
+		t.Errorf("failed cell rendered: %d data rows, want 1\n%s", n, partial.String())
+	}
+}

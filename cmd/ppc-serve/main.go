@@ -41,15 +41,19 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request simulation deadline (0 = 60s)")
 		maxBody  = flag.Int64("max-body", 0, "request body byte limit (0 = 8 MiB)")
 		drainFor = flag.Duration("drain-timeout", time.Minute, "shutdown drain deadline for open connections")
+		storeDir = flag.String("trace-store", "", "trace-store directory for PUT /v1/traces blobs (empty = per-process temp dir)")
+		storeCap = flag.Int64("trace-store-bytes", 0, "trace-store byte budget before LRU eviction (0 = 1 GiB)")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *entries,
-		DefaultTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *entries,
+		DefaultTimeout:  *timeout,
+		MaxBodyBytes:    *maxBody,
+		TraceStoreDir:   *storeDir,
+		TraceStoreBytes: *storeCap,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

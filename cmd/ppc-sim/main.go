@@ -20,41 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"ppcsim"
 )
-
-// parseLargeSpec parses the -large flag: refs[:blocks[:pattern[:seed]]].
-// The reference count accepts scientific notation (1e9) since that is
-// how trace lengths are naturally spoken of.
-func parseLargeSpec(s string) (ppcsim.LargeTraceSpec, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) > 4 {
-		return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: want refs[:blocks[:pattern[:seed]]]", s)
-	}
-	refs, err := strconv.ParseFloat(parts[0], 64)
-	if err != nil || refs < 1 || refs != float64(int64(refs)) { //ppcvet:ignore exact integrality check on a parsed count, not simulation time
-		return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: bad reference count %q", s, parts[0])
-	}
-	spec := ppcsim.LargeTraceSpec{Refs: int64(refs), Blocks: 65536}
-	if len(parts) > 1 {
-		if spec.Blocks, err = strconv.Atoi(parts[1]); err != nil {
-			return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: bad block count %q", s, parts[1])
-		}
-	}
-	if len(parts) > 2 {
-		spec.Pattern = parts[2]
-	}
-	if len(parts) > 3 {
-		if spec.Seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
-			return ppcsim.LargeTraceSpec{}, fmt.Errorf("large spec %q: bad seed %q", s, parts[3])
-		}
-	}
-	return spec, nil
-}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -141,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var totalRefs int64
 	switch {
 	case *largeSpec != "":
-		spec, err := parseLargeSpec(*largeSpec)
+		spec, err := ppcsim.ParseLargeTraceSpec(*largeSpec)
 		if err != nil {
 			return fail(&ppcsim.ConfigError{Field: "Trace", Reason: err.Error()})
 		}

@@ -9,6 +9,7 @@
 //	ppc-sweep -traces synth,ld -algs fixed-horizon,aggressive -disks 1,2,4
 //	ppc-sweep -traces all -algs forestall -disks 1,4 -scheds cscan,fcfs -o out.csv
 //	ppc-sweep -traces all -algs all -parallel 8
+//	ppc-sweep -large 1e7:65536:zipf:1 -window 4096 -algs forestall -disks 2
 package main
 
 import (
@@ -48,10 +49,14 @@ func splitInts(s string) ([]int, error) {
 	return out, nil
 }
 
-// job is one grid point of the sweep.
+// job is one grid point of the sweep. Exactly one of trace and large is
+// set: a materialized bundled trace, or a generator spec each worker
+// streams through its own Source (sources are stateful, so they cannot
+// be shared the way a read-only *Trace can).
 type job struct {
 	traceName string
 	trace     *ppcsim.Trace
+	large     *ppcsim.LargeTraceSpec
 	alg       ppcsim.Algorithm
 	disks     int
 	sched     ppcsim.Discipline
@@ -63,6 +68,7 @@ type job struct {
 // sweepSpec is the parsed cross-product.
 type sweepSpec struct {
 	traces   []string
+	large    *ppcsim.LargeTraceSpec
 	algs     []ppcsim.Algorithm
 	disks    []int
 	scheds   []ppcsim.Discipline
@@ -77,12 +83,25 @@ type sweepSpec struct {
 // jobs expands the spec into the ordered job list (trace-major, matching
 // the CSV row order).
 func (sp sweepSpec) jobs() ([]job, error) {
-	var out []job
-	for _, tn := range sp.traces {
-		tr, err := ppcsim.NewTrace(tn)
-		if err != nil {
-			return nil, err
+	type traceCase struct {
+		name  string
+		trace *ppcsim.Trace
+		large *ppcsim.LargeTraceSpec
+	}
+	var cases []traceCase
+	if sp.large != nil {
+		cases = []traceCase{{name: sp.large.ResolvedName(), large: sp.large}}
+	} else {
+		for _, tn := range sp.traces {
+			tr, err := ppcsim.NewTrace(tn)
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, traceCase{name: tn, trace: tr})
 		}
+	}
+	var out []job
+	for _, tc := range cases {
 		for _, alg := range sp.algs {
 			for _, d := range sp.disks {
 				for _, sched := range sp.scheds {
@@ -90,7 +109,8 @@ func (sp sweepSpec) jobs() ([]job, error) {
 						for _, b := range sp.batches {
 							for _, h := range sp.horizons {
 								out = append(out, job{
-									traceName: tn, trace: tr, alg: alg, disks: d,
+									traceName: tc.name, trace: tc.trace, large: tc.large,
+									alg: alg, disks: d,
 									sched: sched, cache: k, batch: b, horizon: h,
 								})
 							}
@@ -132,7 +152,7 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 			defer wg.Done()
 			for idx := range next {
 				j := jobs[idx]
-				results[idx], errs[idx] = ppcsim.Run(ppcsim.Options{
+				opts := ppcsim.Options{
 					Trace:       j.trace,
 					Algorithm:   j.alg,
 					Disks:       j.disks,
@@ -141,7 +161,16 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 					BatchSize:   j.batch,
 					Horizon:     j.horizon,
 					Hints:       hints,
-				})
+				}
+				if j.large != nil {
+					src, err := j.large.Source()
+					if err != nil {
+						errs[idx] = err
+						continue
+					}
+					opts.Source = src
+				}
+				results[idx], errs[idx] = ppcsim.Run(opts)
 			}
 		}()
 	}
@@ -191,6 +220,7 @@ func runSweep(sp sweepSpec, parallel int, w io.Writer) error {
 func main() {
 	var (
 		traces   = flag.String("traces", "synth", "comma-separated trace names, or 'all'")
+		large    = flag.String("large", "", "stream a synthetic trace instead of -traces: refs[:blocks[:pattern[:seed]]] (requires -window)")
 		algs     = flag.String("algs", "fixed-horizon,aggressive,forestall", "comma-separated algorithms, or 'all'")
 		disks    = flag.String("disks", "1,2,4", "comma-separated array sizes")
 		scheds   = flag.String("scheds", "cscan", "comma-separated schedulers: cscan,fcfs")
@@ -215,6 +245,27 @@ func main() {
 			Reason: fmt.Sprintf("must be non-negative, got %d (0 = unlimited)", *window)})
 	}
 	sp := sweepSpec{hintFrac: *hintFrac, hintAcc: *hintAcc, window: *window}
+	if *large != "" {
+		tracesSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "traces" {
+				tracesSet = true
+			}
+		})
+		if tracesSet {
+			die(&ppcsim.ConfigError{Field: "Trace",
+				Reason: "-large and -traces are mutually exclusive"})
+		}
+		if *window <= 0 {
+			die(&ppcsim.ConfigError{Field: "Window",
+				Reason: "-large streams the trace and requires a bounded -window"})
+		}
+		spec, err := ppcsim.ParseLargeTraceSpec(*large)
+		if err != nil {
+			die(err)
+		}
+		sp.large = &spec
+	}
 	sp.traces = splitList(*traces)
 	if len(sp.traces) == 1 && sp.traces[0] == "all" {
 		sp.traces = ppcsim.TraceNames

@@ -41,6 +41,79 @@ func TestParallelSweepDeterministic(t *testing.T) {
 	}
 }
 
+func TestSweepSplitHelpers(t *testing.T) {
+	if got := splitList("a, ,b,"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList: %v", got)
+	}
+	ints, err := splitInts("4,8")
+	if err != nil || len(ints) != 2 || ints[1] != 8 {
+		t.Errorf("splitInts: %v %v", ints, err)
+	}
+	if _, err := splitInts("4,?"); err == nil {
+		t.Error("splitInts accepted a non-integer")
+	}
+}
+
+// TestSweepStreamsLargeSpec: a -large grid expands under the spec's
+// resolved name, streams every cell (no materialized trace), and
+// renders the same CSV serial or parallel.
+func TestSweepStreamsLargeSpec(t *testing.T) {
+	large := ppcsim.LargeTraceSpec{Refs: 2000, Blocks: 256, Pattern: "zipf", Seed: 7}
+	sp := sweepSpec{
+		large:    &large,
+		algs:     []ppcsim.Algorithm{ppcsim.Demand, ppcsim.Aggressive},
+		disks:    []int{1},
+		scheds:   []ppcsim.Discipline{ppcsim.CSCAN},
+		caches:   []int{0},
+		batches:  []int{0},
+		horizons: []int{0},
+		hintFrac: 1,
+		hintAcc:  1,
+		window:   64,
+	}
+	jobs, err := sp.jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := large.ResolvedName()
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		if j.traceName != name || j.trace != nil || j.large == nil {
+			t.Errorf("large job: %+v, want name %q and a spec, no materialized trace", j, name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := runSweep(sp, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], name+",demand,1,CSCAN,") ||
+		!strings.HasPrefix(lines[2], name+",aggressive,1,CSCAN,") {
+		t.Errorf("rows:\n%s\n%s", lines[1], lines[2])
+	}
+
+	var again bytes.Buffer
+	if err := runSweep(sp, 0, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("parallel and serial streamed sweeps rendered different CSV")
+	}
+
+	// An unknown bundled trace fails expansion rather than sweeping.
+	sp.large = nil
+	sp.traces = []string{"no-such-trace"}
+	if err := runSweep(sp, 1, &bytes.Buffer{}); err == nil {
+		t.Error("unknown trace swept without error")
+	}
+}
+
 // TestSweepReportsConfigErrors: a bad grid point surfaces the offending
 // configuration instead of a bare error.
 func TestSweepReportsConfigErrors(t *testing.T) {

@@ -131,6 +131,24 @@ func (c *Cache) noteUse(b layout.BlockID) {
 	c.seq++
 	c.lastSeq[b] = c.seq
 	c.lru.push(lruEntry{block: b, seq: c.seq})
+	if len(c.lru) > c.heapLimit() {
+		c.compactLRUHeap()
+	}
+}
+
+// compactLRUHeap rebuilds the recency heap keeping only each present
+// block's newest entry (the only ones leastRecentBeyond can return).
+// Sequence numbers are unique, so the pop order of the survivors — and
+// therefore every LRU-fallback victim — is exactly what the
+// uncompacted heap would have produced.
+func (c *Cache) compactLRUHeap() {
+	live := make(lruHeap, 0, 2*c.capacity)
+	for _, e := range c.lru {
+		if c.st[e.block] == present && e.seq == c.lastSeq[e.block] {
+			live.push(e)
+		}
+	}
+	c.lru = live
 }
 
 // MarkAlwaysPresent pins block b as permanently present without
@@ -230,6 +248,68 @@ func (c *Cache) pushEvict(b layout.BlockID) {
 		c.neverEpoch[b] = int32(c.oracle.Consumed(b))
 	}
 	c.h.push(entry{block: b, nextUse: int32(u)})
+	if c.windowed && len(c.h) > c.heapLimit() {
+		c.compactEvictHeap()
+	}
+}
+
+// heapLimit is the lazy-deletion debt ceiling for the windowed-mode
+// heaps. Lazy deletion only reclaims entries that surface at the top;
+// entries whose keys sink never do, so an N-reference streamed run
+// would otherwise hold O(N) dead entries — the one structure that would
+// grow a bounded-window run without bound. Live entries number O(cache
+// capacity), so compacting at a capacity multiple keeps memory
+// independent of trace length while amortizing the rebuild to O(1) per
+// push.
+func (c *Cache) heapLimit() int { return 8*c.capacity + 1024 }
+
+// compactEvictHeap rebuilds the eviction heap with exactly one entry
+// per present block, keyed by what FurthestEvictable's surface-time
+// rules would leave it as: fresh entries survive, outdated Never keys
+// with a live epoch are re-keyed to the oracle's current finite answer
+// (the same re-key the surface loop performs, just eagerly), and
+// everything else is deterministically dead — an absent block's entry
+// (re-fetching pushes a replacement), a finite key the oracle moved
+// past (answers only move forward, so a mismatch never heals), or a
+// Never key whose epoch went stale (the consumed count only grows).
+//
+// Deduplication cannot change a victim: surviving keys agree with the
+// oracle, so duplicates for one block carry equal keys, finite keys are
+// unique across blocks (two blocks cannot share a next-use position),
+// and fresh-Never ties route through the LRU fallback in windowed mode
+// — the only mode that compacts — rather than the heap's tie layout.
+// Without the dedup a workload whose resident blocks all read Never
+// (a loop longer than the window over a cache that fits it) keeps
+// every duplicate alive, the rebuild never gets under the limit, and
+// compaction degrades to a full scan per push.
+func (c *Cache) compactEvictHeap() {
+	live := make(evictHeap, 0, 2*c.capacity)
+	kept := make(map[layout.BlockID]struct{}, 2*c.capacity)
+	for _, e := range c.h {
+		if c.st[e.block] != present {
+			continue
+		}
+		if _, dup := kept[e.block]; dup {
+			continue
+		}
+		u := c.oracle.NextUse(e.block)
+		epochOK := c.neverEpoch[e.block] == int32(c.oracle.Consumed(e.block))
+		switch {
+		case int(e.nextUse) == u:
+			if u == future.Never && !epochOK {
+				// Dead by the surface rule: the disclosure window slid over
+				// a use the process never touched (see FurthestEvictable).
+				continue
+			}
+		case int(e.nextUse) == future.Never && u != future.Never && epochOK:
+			e.nextUse = int32(u) // the surface-time Never -> finite re-key
+		default:
+			continue
+		}
+		kept[e.block] = struct{}{}
+		live.push(e)
+	}
+	c.h = live
 }
 
 // FurthestEvictable returns the present block whose next reference is

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"ppcsim"
@@ -18,12 +19,27 @@ import (
 // returns the worker's exact response bytes (which are byte-identical
 // across the fleet for a given key, because the simulator is
 // deterministic and the canonical key pins every outcome-changing
-// option). cacheHit reports whether the worker's result cache answered.
+// option). meta carries the run's transport metadata: whether the
+// worker's result cache answered and, for streamed cells, the refs/sec
+// and peak-heap observations.
 type Backend interface {
 	// Name identifies the backend on the hash ring and in stats. Names
 	// must be unique within a coordinator.
 	Name() string
-	Run(ctx context.Context, body []byte) (result []byte, cacheHit bool, err error)
+	Run(ctx context.Context, body []byte) (result []byte, meta serve.RunMeta, err error)
+}
+
+// TraceBackend is the optional trace-store surface of a Backend. Both
+// built-in backends implement it; the coordinator uses it to pre-flight
+// trace_hash cells — probing which workers hold a hash and replicating
+// the blob to the ones that don't before any cell is scheduled.
+type TraceBackend interface {
+	// TraceHas probes the worker's store for hash.
+	TraceHas(ctx context.Context, hash string) (bool, error)
+	// TracePut streams a blob into the worker's store under hash.
+	TracePut(ctx context.Context, hash string, r io.Reader) error
+	// TraceGet opens the worker's blob for reading; the caller closes it.
+	TraceGet(ctx context.Context, hash string) (io.ReadCloser, error)
 }
 
 // errKind classifies a cell failure for the scheduler's retry logic.
@@ -82,24 +98,31 @@ func (b *HTTPBackend) Name() string { return b.name }
 
 // Run implements Backend: POST {base}/v1/run, classifying the response
 // for the retry scheduler.
-func (b *HTTPBackend) Run(ctx context.Context, body []byte) ([]byte, bool, error) {
+func (b *HTTPBackend) Run(ctx context.Context, body []byte) ([]byte, serve.RunMeta, error) {
+	var meta serve.RunMeta
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.baseURL+"/v1/run", bytes.NewReader(body))
 	if err != nil {
-		return nil, false, &cellError{kind: errPermanent, err: err}
+		return nil, meta, &cellError{kind: errPermanent, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := b.client.Do(req)
 	if err != nil {
 		// Connection refused, reset, or timeout: the worker is gone.
-		return nil, false, &cellError{kind: errTransient, err: err}
+		return nil, meta, &cellError{kind: errTransient, err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, false, &cellError{kind: errTransient, err: err}
+		return nil, meta, &cellError{kind: errTransient, err: err}
 	}
 	if resp.StatusCode == http.StatusOK {
-		return data, resp.Header.Get("X-Cache") == "hit", nil
+		meta.CacheHit = resp.Header.Get("X-Cache") == "hit"
+		if resp.Header.Get("X-Streamed") == "1" {
+			meta.Streamed = true
+			meta.RefsPerSec, _ = strconv.ParseFloat(resp.Header.Get("X-Refs-Per-Sec"), 64)
+			meta.PeakInuseBytes, _ = strconv.ParseInt(resp.Header.Get("X-Peak-Inuse-Bytes"), 10, 64)
+		}
+		return data, meta, nil
 	}
 	// Prefer the worker's envelope message so the diagnostic a client
 	// sees matches what the worker reported.
@@ -107,12 +130,73 @@ func (b *HTTPBackend) Run(ctx context.Context, body []byte) ([]byte, bool, error
 	var env serve.ErrorEnvelope
 	if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Message != "" {
 		if env.Error.Field != "" {
-			return nil, false, &cellError{kind: kindForStatus(resp.StatusCode),
+			return nil, meta, &cellError{kind: kindForStatus(resp.StatusCode),
 				err: &ppcsim.ConfigError{Field: env.Error.Field, Reason: env.Error.Message}}
 		}
 		errMsg = fmt.Sprintf("worker %s: %s", b.name, env.Error.Message)
 	}
-	return nil, false, &cellError{kind: kindForStatus(resp.StatusCode), err: errors.New(errMsg)}
+	return nil, meta, &cellError{kind: kindForStatus(resp.StatusCode), err: errors.New(errMsg)}
+}
+
+// TraceHas implements TraceBackend via HEAD /v1/traces/<hash>.
+func (b *HTTPBackend) TraceHas(ctx context.Context, hash string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, b.baseURL+"/v1/traces/"+hash, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("coord: worker %s trace probe: status %d", b.name, resp.StatusCode)
+}
+
+// TracePut implements TraceBackend via PUT /v1/traces/<hash>.
+func (b *HTTPBackend) TracePut(ctx context.Context, hash string, r io.Reader) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.baseURL+"/v1/traces/"+hash, r)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		return nil
+	}
+	var env serve.ErrorEnvelope
+	if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Message != "" {
+		return fmt.Errorf("coord: worker %s trace upload: %s", b.name, env.Error.Message)
+	}
+	return fmt.Errorf("coord: worker %s trace upload: status %d", b.name, resp.StatusCode)
+}
+
+// TraceGet implements TraceBackend via GET /v1/traces/<hash>.
+func (b *HTTPBackend) TraceGet(ctx context.Context, hash string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.baseURL+"/v1/traces/"+hash, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("coord: worker %s trace download: status %d", b.name, resp.StatusCode)
+	}
+	return resp.Body, nil
 }
 
 func kindForStatus(status int) errKind {
@@ -149,12 +233,40 @@ func (b *LocalBackend) Name() string { return b.name }
 // Server returns the wrapped worker, e.g. for stats or shutdown.
 func (b *LocalBackend) Server() *serve.Server { return b.srv }
 
-// Run implements Backend via serve.Server.RunJSON, classifying errors
-// exactly as the HTTP status mapping would.
-func (b *LocalBackend) Run(ctx context.Context, body []byte) ([]byte, bool, error) {
-	val, hit, err := b.srv.RunJSON(body)
+// Run implements Backend via serve.Server.RunJSONMeta, classifying
+// errors exactly as the HTTP status mapping would.
+func (b *LocalBackend) Run(ctx context.Context, body []byte) ([]byte, serve.RunMeta, error) {
+	val, meta, err := b.srv.RunJSONMeta(body)
 	if err != nil {
-		return nil, false, &cellError{kind: kindForStatus(serve.StatusForError(err)), err: err}
+		return nil, serve.RunMeta{}, &cellError{kind: kindForStatus(serve.StatusForError(err)), err: err}
 	}
-	return val, hit, nil
+	return val, meta, nil
+}
+
+// TraceHas implements TraceBackend against the embedded server's store.
+func (b *LocalBackend) TraceHas(ctx context.Context, hash string) (bool, error) {
+	st, err := b.srv.TraceStore()
+	if err != nil {
+		return false, err
+	}
+	return st.Has(hash), nil
+}
+
+// TracePut implements TraceBackend against the embedded server's store.
+func (b *LocalBackend) TracePut(ctx context.Context, hash string, r io.Reader) error {
+	st, err := b.srv.TraceStore()
+	if err != nil {
+		return err
+	}
+	_, err = st.Put(hash, r)
+	return err
+}
+
+// TraceGet implements TraceBackend against the embedded server's store.
+func (b *LocalBackend) TraceGet(ctx context.Context, hash string) (io.ReadCloser, error) {
+	st, err := b.srv.TraceStore()
+	if err != nil {
+		return nil, err
+	}
+	return st.Open(hash)
 }

@@ -85,6 +85,11 @@ type Coordinator struct {
 	cellsFailed    obs.Counter
 	cellsFromStore obs.Counter
 	proxiedRuns    obs.Counter
+	// Trace-store plumbing: uploads accepted at the coordinator's
+	// /v1/traces endpoint and blobs copied worker→worker by job
+	// preflight.
+	traceUploads     obs.Counter
+	tracesReplicated obs.Counter
 	// streamLag measures result-ready → flushed-to-client per cell: a
 	// growing lag means the client (or the coordinator's write path) is
 	// the bottleneck, not the fleet.
@@ -143,6 +148,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.ring = newRing(c.names, cfg.Replicas)
 	c.mux.HandleFunc("/v1/jobs", c.handleJobs)
 	c.mux.HandleFunc("/v1/run", c.handleRun)
+	c.mux.HandleFunc("/v1/traces/", c.handleTraces)
 	c.mux.HandleFunc("/v1/healthz", c.handleHealthz)
 	c.mux.HandleFunc("/v1/statsz", c.handleStatsz)
 	c.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -166,9 +172,16 @@ type CellRecord struct {
 	Attempts int    `json:"attempts,omitempty"`
 	// Cache is where the result came from: "miss" (computed), "hit" (the
 	// worker's result cache), or "store" (the coordinator's job store).
-	Cache  string             `json:"cache,omitempty"`
-	Error  *serve.ErrorDetail `json:"error,omitempty"` // set iff the cell failed
-	Result json.RawMessage    `json:"result,omitempty"`
+	Cache string             `json:"cache,omitempty"`
+	Error *serve.ErrorDetail `json:"error,omitempty"` // set iff the cell failed
+	// RefsPerSec and PeakInuseBytes are the worker's wall-clock
+	// observations of a streamed (trace_spec/trace_hash) cell — transport
+	// metadata, deliberately outside Result so stored grids replay
+	// byte-identical results whatever machine computed them. Zero for
+	// materialized cells, cache hits, and store replays.
+	RefsPerSec     float64         `json:"refs_per_sec,omitempty"`
+	PeakInuseBytes int64           `json:"peak_inuse_bytes,omitempty"`
+	Result         json.RawMessage `json:"result,omitempty"`
 }
 
 // Summary is the terminal NDJSON record of a job stream.
@@ -371,7 +384,7 @@ func (j *jobRun) markDeadLocked(name string) {
 // invalid, mark-dead-and-reroute on transport failure.
 func (j *jobRun) runCell(b Backend, t *cellTask) {
 	t.attempts++
-	result, hit, err := b.Run(j.ctx, t.body)
+	result, meta, err := b.Run(j.ctx, t.body)
 	name := b.Name()
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -382,17 +395,19 @@ func (j *jobRun) runCell(b Backend, t *cellTask) {
 		j.c.perBackend[name].completed.Inc()
 		j.c.cellsDone.Inc()
 		cache := "miss"
-		if hit {
+		if meta.CacheHit {
 			cache = "hit"
 		}
 		j.emitLocked(CellRecord{
-			Type:     "cell",
-			Index:    t.cell.Index,
-			Key:      t.cell.Key,
-			Worker:   name,
-			Attempts: t.attempts,
-			Cache:    cache,
-			Result:   result,
+			Type:           "cell",
+			Index:          t.cell.Index,
+			Key:            t.cell.Key,
+			Worker:         name,
+			Attempts:       t.attempts,
+			Cache:          cache,
+			RefsPerSec:     meta.RefsPerSec,
+			PeakInuseBytes: meta.PeakInuseBytes,
+			Result:         result,
 		})
 		j.doneLocked()
 		return

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"ppcsim/internal/serve"
@@ -56,6 +57,20 @@ func (c *Coordinator) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if stored := c.loadStored(jobKey, cells); stored != nil {
 		c.streamStored(w, jobKey, cells, stored)
 		return
+	}
+	if spec.TraceHash != "" {
+		// Hash-named jobs pre-flight before any cell is scheduled: every
+		// worker the ring can route to must hold the blob, so a rerouted
+		// cell after a mid-job death still finds its trace.
+		if err := c.preflightTrace(r.Context(), spec.TraceHash); err != nil {
+			var pe *preflightError
+			if errors.As(err, &pe) {
+				serve.WriteError(w, pe.status, pe.err)
+			} else {
+				serve.WriteError(w, http.StatusBadGateway, err)
+			}
+			return
+		}
 	}
 	c.streamLive(w, r, jobKey, cells, spec.TimeoutMs)
 }
@@ -221,16 +236,21 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		c.perBackend[name].assigned.Inc()
-		result, hit, err := c.byName[name].Run(r.Context(), body)
+		result, meta, err := c.byName[name].Run(r.Context(), body)
 		if err == nil {
 			c.perBackend[name].completed.Inc()
 			xcache := "miss"
-			if hit {
+			if meta.CacheHit {
 				xcache = "hit"
 			}
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Cache", xcache)
 			w.Header().Set("X-Worker", name)
+			if meta.Streamed {
+				w.Header().Set("X-Streamed", "1")
+				w.Header().Set("X-Refs-Per-Sec", strconv.FormatFloat(meta.RefsPerSec, 'f', 1, 64))
+				w.Header().Set("X-Peak-Inuse-Bytes", strconv.FormatInt(meta.PeakInuseBytes, 10))
+			}
 			w.WriteHeader(http.StatusOK)
 			w.Write(result)
 			return
@@ -281,6 +301,11 @@ type Stats struct {
 
 	ProxiedRuns int64 `json:"proxied_runs"`
 
+	// TraceUploads counts PUT /v1/traces accepted here; TracesReplicated
+	// counts preflight worker→worker copies.
+	TraceUploads     int64 `json:"trace_uploads"`
+	TracesReplicated int64 `json:"traces_replicated"`
+
 	// ShardSkew is max/mean of per-backend assigned cells (1 = perfectly
 	// balanced, 0 = nothing assigned yet). Persistent skew means the key
 	// space is hashing unevenly and the hot workers' caches are thrashing
@@ -294,18 +319,20 @@ type Stats struct {
 // Snapshot collects the coordinator's current statistics.
 func (c *Coordinator) Snapshot() Stats {
 	st := Stats{
-		JobsAccepted:   c.jobsAccepted.Load(),
-		JobsCompleted:  c.jobsCompleted.Load(),
-		JobsFailed:     c.jobsFailed.Load(),
-		JobsFromStore:  c.jobsFromStore.Load(),
-		JobsActive:     c.jobsActive.Load(),
-		CellsTotal:     c.cellsTotal.Load(),
-		CellsDone:      c.cellsDone.Load(),
-		CellsRetried:   c.cellsRetried.Load(),
-		CellsFailed:    c.cellsFailed.Load(),
-		CellsFromStore: c.cellsFromStore.Load(),
-		ProxiedRuns:    c.proxiedRuns.Load(),
-		StreamLag:      serve.Summarize(&c.streamLag),
+		JobsAccepted:     c.jobsAccepted.Load(),
+		JobsCompleted:    c.jobsCompleted.Load(),
+		JobsFailed:       c.jobsFailed.Load(),
+		JobsFromStore:    c.jobsFromStore.Load(),
+		JobsActive:       c.jobsActive.Load(),
+		CellsTotal:       c.cellsTotal.Load(),
+		CellsDone:        c.cellsDone.Load(),
+		CellsRetried:     c.cellsRetried.Load(),
+		CellsFailed:      c.cellsFailed.Load(),
+		CellsFromStore:   c.cellsFromStore.Load(),
+		ProxiedRuns:      c.proxiedRuns.Load(),
+		TraceUploads:     c.traceUploads.Load(),
+		TracesReplicated: c.tracesReplicated.Load(),
+		StreamLag:        serve.Summarize(&c.streamLag),
 	}
 	var total, max int64
 	for _, name := range c.names {

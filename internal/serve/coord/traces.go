@@ -1,0 +1,144 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ppcsim"
+	"ppcsim/internal/serve"
+	"ppcsim/internal/serve/tracestore"
+)
+
+// handleTraces is the coordinator's trace-store surface:
+//
+//	PUT  /v1/traces/<hash>  upload through the hash's ring-owner worker
+//	HEAD /v1/traces/<hash>  probe whether any worker holds the hash
+//
+// A client needs to upload a trace exactly once, to the coordinator;
+// job preflight replicates it to whichever workers a sweep lands on.
+func (c *Coordinator) handleTraces(w http.ResponseWriter, r *http.Request) {
+	hash := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if hash == "" || strings.Contains(hash, "/") {
+		serve.WriteError(w, http.StatusNotFound, fmt.Errorf("coord: no such endpoint %s", r.URL.Path))
+		return
+	}
+	if !tracestore.ValidHash(hash) {
+		serve.WriteError(w, http.StatusBadRequest, &ppcsim.ConfigError{Field: "TraceHash",
+			Reason: fmt.Sprintf("%q is not a trace hash (want 64 lowercase hex digits)", hash)})
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		// Route the blob to the worker owning the hash on the ring — the
+		// same worker trace_hash cell keys gravitate toward, so in the
+		// common single-trace job the bytes land where the work does.
+		name := c.ring.owner(hash, nil)
+		tb, ok := c.byName[name].(TraceBackend)
+		if !ok {
+			serve.WriteError(w, http.StatusBadGateway, fmt.Errorf("coord: backend %s cannot store traces", name))
+			return
+		}
+		if err := tb.TracePut(r.Context(), hash, r.Body); err != nil {
+			c.writeTracePutError(w, err)
+			return
+		}
+		c.traceUploads.Inc()
+		writeJSON(w, http.StatusCreated, map[string]any{"hash": hash, "worker": name})
+	case http.MethodHead:
+		for _, name := range c.names {
+			tb, ok := c.byName[name].(TraceBackend)
+			if !ok {
+				continue
+			}
+			if has, err := tb.TraceHas(r.Context(), hash); err == nil && has {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+		}
+		// net/http drops the body for HEAD; the status is the answer.
+		serve.WriteError(w, http.StatusNotFound, fmt.Errorf("coord: trace %s not on any worker", hash))
+	default:
+		w.Header().Set("Allow", "PUT, HEAD")
+		serve.WriteError(w, http.StatusMethodNotAllowed, fmt.Errorf("coord: PUT or HEAD required"))
+	}
+}
+
+// writeTracePutError maps a worker upload failure onto the v1 envelope,
+// keeping hash-mismatch and bad-hash diagnostics a 400 rather than a
+// gateway error. The HTTP backend flattens the worker's envelope into
+// the message text, so the mismatch case is sniffed there.
+func (c *Coordinator) writeTracePutError(w http.ResponseWriter, err error) {
+	var cfgErr *ppcsim.ConfigError
+	var mismatch *tracestore.MismatchError
+	switch {
+	case errors.As(err, &cfgErr):
+		serve.WriteError(w, http.StatusBadRequest, cfgErr)
+	case errors.As(err, &mismatch), strings.Contains(err.Error(), "hashes to"):
+		serve.WriteError(w, http.StatusBadRequest, &ppcsim.ConfigError{Field: "TraceHash", Reason: err.Error()})
+	default:
+		serve.WriteError(w, http.StatusBadGateway, err)
+	}
+}
+
+// preflightTrace makes a trace_hash job runnable before any cell is
+// scheduled: every backend is probed for the hash, and workers missing
+// it receive a copy pulled from one that holds it. With no holder
+// anywhere the job is rejected up front — the client must upload first
+// — and a failed copy is a gateway error (the scheduler cannot route a
+// cell to a worker that cannot see its trace).
+func (c *Coordinator) preflightTrace(ctx context.Context, hash string) error {
+	var holder TraceBackend
+	var missing []TraceBackend
+	for _, name := range c.names {
+		tb, ok := c.byName[name].(TraceBackend)
+		if !ok {
+			return &preflightError{status: http.StatusBadGateway,
+				err: fmt.Errorf("coord: backend %s cannot store traces", name)}
+		}
+		// A probe failure counts as missing: if the worker is truly gone
+		// the copy below fails and reports it.
+		if has, err := tb.TraceHas(ctx, hash); err == nil && has {
+			if holder == nil {
+				holder = tb
+			}
+		} else {
+			missing = append(missing, tb)
+		}
+	}
+	if holder == nil {
+		return &preflightError{status: http.StatusBadRequest,
+			err: &ppcsim.ConfigError{Field: "TraceHash",
+				Reason: fmt.Sprintf("trace %s not found on any worker; upload it via PUT /v1/traces/%s first", hash, hash)}}
+	}
+	for _, tb := range missing {
+		if err := c.copyTrace(ctx, hash, holder, tb); err != nil {
+			return &preflightError{status: http.StatusBadGateway,
+				err: fmt.Errorf("coord: replicating trace %s: %w", hash, err)}
+		}
+		c.tracesReplicated.Inc()
+	}
+	return nil
+}
+
+// copyTrace streams one blob holder → target.
+func (c *Coordinator) copyTrace(ctx context.Context, hash string, from, to TraceBackend) error {
+	rc, err := from.TraceGet(ctx, hash)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	return to.TracePut(ctx, hash, rc)
+}
+
+// preflightError carries the HTTP status a preflight failure should
+// surface as.
+type preflightError struct {
+	status int
+	err    error
+}
+
+func (e *preflightError) Error() string { return e.err.Error() }
+func (e *preflightError) Unwrap() error { return e.err }

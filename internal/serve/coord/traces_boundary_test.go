@@ -1,0 +1,118 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ppcsim"
+	"ppcsim/internal/serve"
+	"ppcsim/internal/serve/tracestore"
+)
+
+// TestCoordTraceEndpointBoundaries drives the coordinator's /v1/traces
+// surface through its rejection paths: the routes and methods it does
+// not serve, malformed hashes, and a PUT whose body does not hash to
+// its name (which must come back as a 400 naming TraceHash, not a
+// gateway error, even though the rejection happens on the worker).
+func TestCoordTraceEndpointBoundaries(t *testing.T) {
+	_, _, bA := newHTTPWorker(t, "a")
+	c, err := New(Config{Backends: []Backend{bA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+
+	do := func(t *testing.T, method, path string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	envelope := func(t *testing.T, resp *http.Response) serve.ErrorEnvelope {
+		t.Helper()
+		var env serve.ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("decoding error envelope: %v", err)
+		}
+		return env
+	}
+
+	goodHash := tracestore.HashBytes([]byte("body"))
+
+	if resp := do(t, http.MethodPut, "/v1/traces/", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("empty hash: status %d, want 404", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodPut, "/v1/traces/"+goodHash+"/extra", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("nested path: status %d, want 404", resp.StatusCode)
+	}
+
+	resp := do(t, http.MethodPut, "/v1/traces/nothex", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed hash: status %d, want 400", resp.StatusCode)
+	}
+	if env := envelope(t, resp); env.Error.Field != "TraceHash" {
+		t.Errorf("malformed hash: envelope %+v, want Field TraceHash", env.Error)
+	}
+
+	resp = do(t, http.MethodDelete, "/v1/traces/"+goodHash, nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "PUT, HEAD" {
+		t.Errorf("DELETE: Allow %q, want \"PUT, HEAD\"", allow)
+	}
+
+	// The body hashes to something other than its name: the worker
+	// rejects the digest, and the coordinator must relay it as a
+	// config error on TraceHash.
+	resp = do(t, http.MethodPut, "/v1/traces/"+goodHash, []byte("different bytes"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched PUT: status %d, want 400", resp.StatusCode)
+	}
+	if env := envelope(t, resp); env.Error.Field != "TraceHash" {
+		t.Errorf("mismatched PUT: envelope %+v, want Field TraceHash", env.Error)
+	}
+
+	if resp := do(t, http.MethodHead, "/v1/traces/"+goodHash, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("HEAD absent: status %d, want 404", resp.StatusCode)
+	}
+
+	// The happy path still works after all the rejections.
+	resp = do(t, http.MethodPut, "/v1/traces/"+goodHash, []byte("body"))
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("valid PUT: status %d, want 201", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodHead, "/v1/traces/"+goodHash, nil); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("HEAD held: status %d, want 204", resp.StatusCode)
+	}
+}
+
+func TestPreflightErrorWrapsCause(t *testing.T) {
+	cause := &ppcsim.ConfigError{Field: "TraceHash", Reason: "absent"}
+	pe := &preflightError{status: http.StatusBadRequest, err: cause}
+	if !strings.Contains(pe.Error(), "absent") {
+		t.Errorf("Error() = %q, want the cause's text", pe.Error())
+	}
+	var cfg *ppcsim.ConfigError
+	if !errors.As(pe, &cfg) || cfg.Field != "TraceHash" {
+		t.Errorf("errors.As through preflightError failed: %v", pe)
+	}
+	wrapped := fmt.Errorf("outer: %w", pe)
+	if !errors.As(wrapped, &cfg) {
+		t.Error("preflightError does not unwrap through further wrapping")
+	}
+}

@@ -7,9 +7,12 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"strings"
 
 	"ppcsim"
+	"ppcsim/internal/serve/tracestore"
 	"ppcsim/internal/trace"
 )
 
@@ -18,19 +21,28 @@ import (
 // embed it directly (plus a transport-only timeout), and a coordinator
 // JobSpec embeds it as the base configuration its grid axes vary.
 //
-// Exactly one of Trace (a bundled trace name) or TraceText (an inline
-// trace) selects the workload. TraceText carries either the ppctrace
-// text format (see trace.Write) or a base64-encoded columnar binary
-// trace (see docs/trace-format.md), told apart by content sniffing on
-// the base64 prefix of the columnar magic; both hash into the result
-// cache key the same way. Absent optional fields take the simulator's
+// Exactly one of Trace (a bundled trace name), TraceText (an inline
+// trace), TraceSpec (a synthetic streaming generator), or TraceHash (a
+// columnar file in the worker's content-addressed trace store) selects
+// the workload. TraceText carries either the ppctrace text format (see
+// trace.Write) or a base64-encoded columnar binary trace (see
+// docs/trace-format.md), told apart by content sniffing on the base64
+// prefix of the columnar magic; both hash into the result cache key the
+// same way. TraceSpec and TraceHash cells stream — the worker never
+// materializes the reference sequence, so a 10^9-reference cell runs
+// under a flat memory ceiling — and therefore require a bounded Window
+// and an online algorithm. Absent optional fields take the simulator's
 // defaults,
 // matching ppcsim.Options: zero Disks means one drive, zero CacheBlocks
 // means the trace's default size, and zero batch/horizon/estimate
 // values mean the paper's Table 6 settings.
 type RunSpec struct {
-	Trace     string `json:"trace,omitempty"`
-	TraceText string `json:"trace_text,omitempty"`
+	Trace     string     `json:"trace,omitempty"`
+	TraceText string     `json:"trace_text,omitempty"`
+	TraceSpec *TraceSpec `json:"trace_spec,omitempty"`
+	// TraceHash names a columnar trace by the lowercase hex SHA-256 of
+	// its bytes, resolved from the worker's trace store (PUT /v1/traces).
+	TraceHash string `json:"trace_hash,omitempty"`
 	Algorithm string `json:"algorithm,omitempty"`
 	// Disks and CacheBlocks are pointers so the boundary can tell an
 	// absent field (use the default) from an explicit zero (an error —
@@ -62,17 +74,97 @@ type Hints struct {
 	Seed     int64   `json:"seed,omitempty"`
 }
 
+// TraceSpec mirrors trace.LargeSpec in the request schema: a synthetic
+// streaming trace described by its parameters instead of its bytes, so
+// a billion-reference workload travels as a few dozen JSON bytes. Zero
+// Blocks means 65536 (the CLI shorthand's default); the remaining
+// defaults match trace.LargeSpec (pattern "loop", one file, 1280 cache
+// blocks, 0.1 ms mean compute).
+type TraceSpec struct {
+	Name          string  `json:"name,omitempty"`
+	Refs          int64   `json:"refs"`
+	Blocks        int     `json:"blocks,omitempty"`
+	Files         int     `json:"files,omitempty"`
+	Pattern       string  `json:"pattern,omitempty"`
+	MeanComputeMs float64 `json:"mean_compute_ms,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	CacheBlocks   int     `json:"cache_blocks,omitempty"`
+}
+
+// large converts the wire shape to the generator spec, applying the
+// wire-level blocks default.
+func (t *TraceSpec) large() trace.LargeSpec {
+	l := trace.LargeSpec{
+		Name:          t.Name,
+		Refs:          t.Refs,
+		Blocks:        t.Blocks,
+		Files:         t.Files,
+		Pattern:       t.Pattern,
+		MeanComputeMs: t.MeanComputeMs,
+		Seed:          t.Seed,
+		CacheBlocks:   t.CacheBlocks,
+	}
+	if l.Blocks == 0 {
+		l.Blocks = 65536
+	}
+	return l
+}
+
+// ResolvedName returns the trace name the run will report — the
+// explicit Name or the generator's deterministic default — which is the
+// name that appears in Result JSON and CSV trace columns.
+func (t *TraceSpec) ResolvedName() string { return t.large().ResolvedName() }
+
+// streaming reports whether the spec names a source the worker streams
+// (generator or store hash) rather than materializes.
+func (r *RunSpec) streaming() bool { return r.TraceSpec != nil || r.TraceHash != "" }
+
 // Validate applies the boundary rules that precede option assembly:
 // exactly one trace source, a known algorithm and scheduler, and
 // positive disk/cache/scale values where present. Failures are
 // *ppcsim.ConfigError values naming the offending field, the same shape
 // ppcsim.Options.Validate returns, so HTTP and CLI diagnostics match.
 func (r *RunSpec) Validate() error {
+	sources := 0
+	for _, set := range []bool{r.Trace != "", r.TraceText != "", r.TraceSpec != nil, r.TraceHash != ""} {
+		if set {
+			sources++
+		}
+	}
 	switch {
-	case r.Trace == "" && r.TraceText == "":
-		return &ppcsim.ConfigError{Field: "Trace", Reason: "one of trace or trace_text is required"}
-	case r.Trace != "" && r.TraceText != "":
-		return &ppcsim.ConfigError{Field: "Trace", Reason: "trace and trace_text are mutually exclusive"}
+	case sources == 0:
+		return &ppcsim.ConfigError{Field: "Trace", Reason: "one of trace, trace_text, trace_spec, or trace_hash is required"}
+	case sources > 1:
+		return &ppcsim.ConfigError{Field: "Trace", Reason: "trace, trace_text, trace_spec, and trace_hash are mutually exclusive"}
+	}
+	if r.TraceHash != "" && !tracestore.ValidHash(r.TraceHash) {
+		return &ppcsim.ConfigError{Field: "TraceHash", Reason: fmt.Sprintf("%q is not a trace hash (want 64 lowercase hex digits)", r.TraceHash)}
+	}
+	if r.TraceSpec != nil {
+		ls := r.TraceSpec.large()
+		if err := ls.Validate(); err != nil {
+			return &ppcsim.ConfigError{Field: "TraceSpec", Reason: err.Error()}
+		}
+		if ls.Refs >= math.MaxInt32 {
+			return &ppcsim.ConfigError{Field: "TraceSpec", Reason: fmt.Sprintf("refs %d exceeds the streaming maximum of 2^31-2", ls.Refs)}
+		}
+		if r.Window != nil && int64(*r.Window) >= ls.Refs {
+			return &ppcsim.ConfigError{Field: "Window", Reason: fmt.Sprintf("streaming cells need a window smaller than the trace (window %d, trace %d references)", *r.Window, ls.Refs)}
+		}
+	}
+	if r.streaming() {
+		// Streaming cells never materialize, so everything that needs the
+		// whole sequence resident is rejected at the boundary: the offline
+		// algorithm, unlimited lookahead, and post-hoc compute scaling.
+		if r.Window == nil {
+			return &ppcsim.ConfigError{Field: "Window", Reason: "trace_spec and trace_hash cells stream and require a bounded lookahead window"}
+		}
+		if a, err := ppcsim.ParseAlgorithm(r.Algorithm); err == nil && a == ppcsim.ReverseAggressive {
+			return &ppcsim.ConfigError{Field: "Algorithm", Reason: "reverse aggressive is offline and requires a materialized trace (use trace or trace_text)"}
+		}
+		if r.CPUScale != 0 && r.CPUScale != 1 { //ppcvet:ignore unset-field sentinels, decoded rather than computed
+			return &ppcsim.ConfigError{Field: "CPUScale", Reason: "cpu_scale requires a materialized trace"}
+		}
 	}
 	if _, err := ppcsim.ParseAlgorithm(r.Algorithm); err != nil {
 		return err
@@ -102,22 +194,42 @@ func (r *RunSpec) Validate() error {
 // traces replaced by a content hash. Transport-only fields (timeout_ms)
 // are deliberately absent.
 type canonical struct {
-	Trace            string  `json:"t,omitempty"`
-	TraceHash        string  `json:"th,omitempty"`
-	Algorithm        string  `json:"a"`
-	Disks            int     `json:"d"`
-	CacheBlocks      int     `json:"c"`
-	Scheduler        string  `json:"s"`
-	BatchSize        int     `json:"b"`
-	Horizon          int     `json:"h"`
-	FetchEstimate    float64 `json:"f"`
-	ForestallFixedF  float64 `json:"ff"`
-	DriverOverheadMs float64 `json:"dr"`
-	SimpleDiskModel  bool    `json:"sd"`
-	PlacementSeed    int64   `json:"ps"`
-	CPUScale         float64 `json:"cs"`
-	Hints            *Hints  `json:"hi,omitempty"`
-	Window           int     `json:"w,omitempty"`
+	Trace     string `json:"t,omitempty"`
+	TraceHash string `json:"th,omitempty"`
+	// TraceSpec carries generator cells with every default spelled out
+	// (resolved name included — the name appears in Result JSON, so two
+	// specs differing only in Name must key differently); TraceFile
+	// carries store-hash cells. Inline trace_text bodies keep hashing
+	// into TraceHash exactly as before, so pre-existing keys are stable.
+	TraceSpec        *canonicalTraceSpec `json:"tg,omitempty"`
+	TraceFile        string              `json:"tf,omitempty"`
+	Algorithm        string              `json:"a"`
+	Disks            int                 `json:"d"`
+	CacheBlocks      int                 `json:"c"`
+	Scheduler        string              `json:"s"`
+	BatchSize        int                 `json:"b"`
+	Horizon          int                 `json:"h"`
+	FetchEstimate    float64             `json:"f"`
+	ForestallFixedF  float64             `json:"ff"`
+	DriverOverheadMs float64             `json:"dr"`
+	SimpleDiskModel  bool                `json:"sd"`
+	PlacementSeed    int64               `json:"ps"`
+	CPUScale         float64             `json:"cs"`
+	Hints            *Hints              `json:"hi,omitempty"`
+	Window           int                 `json:"w,omitempty"`
+}
+
+// canonicalTraceSpec is the cache-key projection of a generator cell:
+// trace.LargeSpec.Canonical with fixed short field names.
+type canonicalTraceSpec struct {
+	Name          string  `json:"n"`
+	Refs          int64   `json:"r"`
+	Blocks        int     `json:"b"`
+	Files         int     `json:"fi"`
+	Pattern       string  `json:"p"`
+	MeanComputeMs float64 `json:"m"`
+	Seed          int64   `json:"se"`
+	CacheBlocks   int     `json:"cb"`
 }
 
 // Key returns the canonical result-cache key of a validated spec.
@@ -157,6 +269,22 @@ func (r *RunSpec) Key() string {
 		sum := sha256.Sum256([]byte(r.TraceText))
 		c.Trace, c.TraceHash = "", hex.EncodeToString(sum[:])
 	}
+	if r.TraceSpec != nil {
+		ls := r.TraceSpec.large().Canonical()
+		c.TraceSpec = &canonicalTraceSpec{
+			Name:          ls.Name,
+			Refs:          ls.Refs,
+			Blocks:        ls.Blocks,
+			Files:         ls.Files,
+			Pattern:       ls.Pattern,
+			MeanComputeMs: ls.MeanComputeMs,
+			Seed:          ls.Seed,
+			CacheBlocks:   ls.CacheBlocks,
+		}
+	}
+	if r.TraceHash != "" {
+		c.TraceFile = r.TraceHash
+	}
 	if r.Disks != nil {
 		c.Disks = *r.Disks
 	}
@@ -182,44 +310,100 @@ func (r *RunSpec) Key() string {
 	return string(key)
 }
 
-// Options assembles the validated spec into simulator options,
-// resolving the trace through loadTrace (which may cache bundled
-// traces). It finishes with ppcsim.Options.Validate, so every
+// SourceEnv supplies the worker-local resources BuildOptions resolves
+// traces through: LoadTrace maps bundled trace names (and may cache),
+// OpenHash opens a pinned read handle on a store blob (nil when the
+// worker has no trace store).
+type SourceEnv struct {
+	LoadTrace func(name string) (*ppcsim.Trace, error)
+	OpenHash  func(hash string) (io.ReadSeekCloser, error)
+}
+
+// BuildOptions assembles the validated spec into simulator options,
+// resolving the trace through env. The returned cleanup func (never
+// nil) releases whatever the source holds — a store pin, most
+// importantly — and must be called after the run finishes.
+//
+// Trace-source routing: trace_spec cells stream from the generator,
+// trace_hash cells stream from the store blob, and inline columnar
+// trace_text bodies stream from the decoded bytes whenever a bounded
+// window is set (the sliding-window engine requires one; unbounded or
+// trace-covering windows and cpu_scale fall back to materializing,
+// which is byte-identical). Text traces and bundled names materialize
+// as before. It finishes with ppcsim.Options.Validate, so every
 // configuration error the library can diagnose surfaces here as a
 // *ppcsim.ConfigError before any queue slot is consumed.
-func (r *RunSpec) Options(loadTrace func(name string) (*ppcsim.Trace, error)) (ppcsim.Options, error) {
+func (r *RunSpec) BuildOptions(env SourceEnv) (ppcsim.Options, func(), error) {
+	cleanup := func() {}
 	var tr *ppcsim.Trace
+	var src ppcsim.TraceSource
 	var err error
-	if r.TraceText != "" {
+	switch {
+	case r.TraceSpec != nil:
+		src, err = r.TraceSpec.large().Source()
+		if err != nil {
+			return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "TraceSpec", Reason: err.Error()}
+		}
+	case r.TraceHash != "":
+		if env.OpenHash == nil {
+			return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "TraceHash", Reason: "this worker has no trace store"}
+		}
+		h, herr := env.OpenHash(r.TraceHash)
+		if herr != nil {
+			return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "TraceHash", Reason: herr.Error()}
+		}
+		src, err = trace.NewColumnarSource(h)
+		if err != nil {
+			h.Close()
+			return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "TraceHash", Reason: fmt.Sprintf("stored trace %s: %v", r.TraceHash, err)}
+		}
+		cleanup = func() { h.Close() }
+	case r.TraceText != "":
 		if strings.HasPrefix(r.TraceText, trace.ColumnarBase64Prefix) {
 			// A base64-encoded columnar binary trace: no text trace can
 			// start with this prefix (text headers start with "ppctrace ").
 			raw, derr := base64.StdEncoding.DecodeString(r.TraceText)
 			if derr != nil {
-				return ppcsim.Options{}, &ppcsim.ConfigError{Field: "TraceText", Reason: fmt.Sprintf("columnar body is not valid base64: %v", derr)}
+				return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "TraceText", Reason: fmt.Sprintf("columnar body is not valid base64: %v", derr)}
 			}
-			tr, err = trace.ReadColumnar(bytes.NewReader(raw))
+			scaled := r.CPUScale != 0 && r.CPUScale != 1 //ppcvet:ignore unset-field sentinels, decoded rather than computed
+			if r.Window != nil && !scaled {
+				var s *trace.ColumnarSource
+				s, err = trace.NewColumnarSource(bytes.NewReader(raw))
+				if err == nil && int64(*r.Window) < s.Meta().Refs {
+					src = s
+				} else if err == nil {
+					// The window covers the whole trace, which the
+					// sliding-window engine rejects; materializing is
+					// byte-identical, so keep the old acceptance.
+					tr, err = trace.Materialize(s)
+				}
+			} else {
+				tr, err = trace.ReadColumnar(bytes.NewReader(raw))
+			}
 		} else {
 			tr, err = trace.Read(strings.NewReader(r.TraceText))
 		}
 		if err != nil {
-			return ppcsim.Options{}, &ppcsim.ConfigError{Field: "TraceText", Reason: err.Error()}
+			return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "TraceText", Reason: err.Error()}
 		}
-	} else {
-		tr, err = loadTrace(r.Trace)
+	default:
+		tr, err = env.LoadTrace(r.Trace)
 		if err != nil {
-			return ppcsim.Options{}, &ppcsim.ConfigError{Field: "Trace", Reason: err.Error()}
+			return ppcsim.Options{}, cleanup, &ppcsim.ConfigError{Field: "Trace", Reason: err.Error()}
 		}
 	}
-	if r.CPUScale != 0 && r.CPUScale != 1 { //ppcvet:ignore flag-default sentinel, decoded rather than computed
+	if tr != nil && r.CPUScale != 0 && r.CPUScale != 1 { //ppcvet:ignore flag-default sentinel, decoded rather than computed
 		tr = tr.ScaleCompute(r.CPUScale)
 	}
 	alg, err := ppcsim.ParseAlgorithm(r.Algorithm)
 	if err != nil {
-		return ppcsim.Options{}, err
+		cleanup()
+		return ppcsim.Options{}, func() {}, err
 	}
 	opts := ppcsim.Options{
 		Trace:            tr,
+		Source:           src,
 		Algorithm:        alg,
 		BatchSize:        r.BatchSize,
 		Horizon:          r.Horizon,
@@ -237,7 +421,8 @@ func (r *RunSpec) Options(loadTrace func(name string) (*ppcsim.Trace, error)) (p
 	}
 	if r.Scheduler != "" {
 		if opts.Scheduler, err = ppcsim.ParseDiscipline(r.Scheduler); err != nil {
-			return ppcsim.Options{}, err
+			cleanup()
+			return ppcsim.Options{}, func() {}, err
 		}
 	}
 	if r.Hints != nil {
@@ -256,7 +441,8 @@ func (r *RunSpec) Options(loadTrace func(name string) (*ppcsim.Trace, error)) (p
 		opts.Hints.Window = *r.Window
 	}
 	if err := opts.Validate(); err != nil {
-		return ppcsim.Options{}, err
+		cleanup()
+		return ppcsim.Options{}, func() {}, err
 	}
-	return opts, nil
+	return opts, cleanup, nil
 }

@@ -29,14 +29,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"os"
 	"runtime"
+	"runtime/metrics"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ppcsim"
 	"ppcsim/internal/obs"
+	"ppcsim/internal/serve/tracestore"
 )
 
 // Config parameterizes a Server. The zero value selects the defaults
@@ -63,6 +69,15 @@ type Config struct {
 	// Runner executes one simulation (default ppcsim.RunContext). Tests
 	// substitute instrumented runners.
 	Runner func(ctx context.Context, opts ppcsim.Options) (ppcsim.Result, error)
+	// TraceStoreDir is the directory of the content-addressed trace
+	// store behind /v1/traces and trace_hash cells. Empty means a fresh
+	// temporary directory owned by the server and removed on Close, so a
+	// restart with a configured directory re-adopts its blobs while the
+	// default leaves nothing behind.
+	TraceStoreDir string
+	// TraceStoreBytes is the trace store's LRU byte budget (default
+	// 1 GiB).
+	TraceStoreBytes int64
 }
 
 // Server is the simulation service. Create with New, expose via
@@ -77,6 +92,16 @@ type Server struct {
 	traceMu sync.Mutex
 	traces  map[string]*ppcsim.Trace //ppcvet:guardedby traceMu
 
+	// The trace store is created on first use — most servers never see a
+	// trace_hash cell and should not pay for a directory.
+	storeMu sync.Mutex
+	//ppcvet:guardedby storeMu
+	store *tracestore.Store
+	//ppcvet:guardedby storeMu
+	storeDir string // set only when the server owns (and removes) the dir
+	//ppcvet:guardedby storeMu
+	storeErr error
+
 	draining atomic.Bool
 
 	// Service-level counters (see /v1/statsz).
@@ -89,6 +114,12 @@ type Server struct {
 	cacheHits obs.Counter // served straight from the result cache
 	cacheMiss obs.Counter
 	runs      obs.Counter // underlying simulations actually executed
+	streamed  obs.Counter // runs that went through Options.Source
+	// Streaming gauges: the high-water live-heap mark across streamed
+	// runs (the number the flat-memory-ceiling claim is checked against)
+	// and the most recent streaming throughput, as float64 bits.
+	peakInuse      atomic.Int64
+	lastRefsPerSec atomic.Uint64
 	// Request latency split by cache outcome: lumping the
 	// microsecond-scale hits in with computed runs hides pool saturation
 	// behind a flood of fast hits, so each series is its own histogram.
@@ -127,6 +158,7 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/traces/", s.handleTraces)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/statsz", s.handleStatsz)
 	// Deprecation shims for the pre-v1 surface (one release).
@@ -171,6 +203,47 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.draining.Store(true)
 	s.pool.drain()
+	// Every accepted run has finished, so no store blob is pinned; a
+	// server-owned temporary store directory can go with the server.
+	s.storeMu.Lock()
+	if s.storeDir != "" {
+		os.RemoveAll(s.storeDir)
+		s.storeDir = ""
+		s.store = nil
+		s.storeErr = ErrClosed
+	}
+	s.storeMu.Unlock()
+}
+
+// TraceStore returns the server's content-addressed trace store,
+// creating it (and, absent Config.TraceStoreDir, its temporary
+// directory) on first use.
+func (s *Server) TraceStore() (*tracestore.Store, error) {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if s.store != nil || s.storeErr != nil {
+		return s.store, s.storeErr
+	}
+	dir := s.cfg.TraceStoreDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ppc-tracestore-*")
+		if err != nil {
+			s.storeErr = err
+			return nil, err
+		}
+		s.storeDir, dir = tmp, tmp
+	}
+	st, err := tracestore.New(tracestore.Config{Dir: dir, MaxBytes: s.cfg.TraceStoreBytes})
+	if err != nil {
+		if s.storeDir != "" {
+			os.RemoveAll(s.storeDir)
+			s.storeDir = ""
+		}
+		s.storeErr = err
+		return nil, err
+	}
+	s.store = st
+	return st, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -189,7 +262,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	val, hit, err := s.RunJSON(body)
+	val, meta, err := s.RunJSONMeta(body)
 	if err != nil {
 		status := StatusForError(err)
 		if status == http.StatusTooManyRequests {
@@ -201,10 +274,104 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	xcache := "miss"
-	if hit {
+	if meta.CacheHit {
 		xcache = "hit"
 	}
+	if meta.Streamed {
+		// Wall-clock observations ride as headers, never in the body:
+		// response bytes for a key stay identical across runs and workers.
+		w.Header().Set("X-Streamed", "1")
+		w.Header().Set("X-Refs-Per-Sec", strconv.FormatFloat(meta.RefsPerSec, 'f', 1, 64))
+		w.Header().Set("X-Peak-Inuse-Bytes", strconv.FormatInt(meta.PeakInuseBytes, 10))
+	}
 	s.writeResult(w, val, xcache)
+}
+
+// handleTraces serves the trace-store endpoints:
+//
+//	PUT  /v1/traces/<hash>  upload a columnar trace (verified, idempotent)
+//	HEAD /v1/traces/<hash>  existence probe (204 / 404)
+//	GET  /v1/traces/<hash>  download the raw blob
+//
+// PUT bodies stream straight into the store, so uploads are bounded by
+// the store's byte budget rather than MaxBodyBytes.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	hash := strings.TrimPrefix(r.URL.Path, "/v1/traces/")
+	if hash == "" || strings.Contains(hash, "/") {
+		WriteError(w, http.StatusNotFound, fmt.Errorf("serve: no such endpoint %s", r.URL.Path))
+		return
+	}
+	if !tracestore.ValidHash(hash) {
+		WriteError(w, http.StatusBadRequest, &ppcsim.ConfigError{Field: "TraceHash",
+			Reason: fmt.Sprintf("%q is not a trace hash (want 64 lowercase hex digits)", hash)})
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		if s.draining.Load() {
+			WriteError(w, http.StatusServiceUnavailable, ErrClosed)
+			return
+		}
+		st, err := s.TraceStore()
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		created, err := st.Put(hash, r.Body)
+		if err != nil {
+			var mismatch *tracestore.MismatchError
+			var tooLarge *tracestore.TooLargeError
+			switch {
+			case errors.As(err, &mismatch):
+				WriteError(w, http.StatusBadRequest, &ppcsim.ConfigError{Field: "TraceHash", Reason: mismatch.Error()})
+			case errors.As(err, &tooLarge):
+				WriteError(w, http.StatusRequestEntityTooLarge, err)
+			default:
+				WriteError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		writeJSON(w, status, map[string]any{"hash": hash, "created": created})
+	case http.MethodHead:
+		st, err := s.TraceStore()
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !st.Has(hash) {
+			// net/http drops the body for HEAD; the status is the answer.
+			WriteError(w, http.StatusNotFound, fmt.Errorf("serve: trace %s not in store", hash))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		st, err := s.TraceStore()
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, err)
+			return
+		}
+		h, err := st.Open(hash)
+		if err != nil {
+			if errors.Is(err, tracestore.ErrNotFound) {
+				WriteError(w, http.StatusNotFound, err)
+			} else {
+				WriteError(w, http.StatusInternalServerError, err)
+			}
+			return
+		}
+		defer h.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(h.Bytes(), 10))
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, h)
+	default:
+		w.Header().Set("Allow", "PUT, HEAD, GET")
+		WriteError(w, http.StatusMethodNotAllowed, errors.New("serve: PUT, HEAD, or GET required"))
+	}
 }
 
 // RunJSON is the transport-independent worker entry point: it decodes
@@ -215,26 +382,58 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // both call it, so a simulation behaves identically however it
 // arrives. Errors map to HTTP statuses via StatusForError.
 func (s *Server) RunJSON(body []byte) (val []byte, cacheHit bool, err error) {
+	val, meta, err := s.RunJSONMeta(body)
+	return val, meta.CacheHit, err
+}
+
+// RunMeta is the per-run transport metadata RunJSONMeta reports
+// alongside the response bytes. It deliberately never enters the result
+// cache or the response body — wall-clock observations differ between
+// runs of the same key, and bodies must not. Deduplicated followers see
+// zero streaming metrics (only the singleflight leader observes the
+// run).
+type RunMeta struct {
+	// CacheHit reports the result came from the cache (or a concurrent
+	// leader) rather than a fresh simulation.
+	CacheHit bool
+	// Streamed reports the run went through Options.Source under the
+	// sliding-window engine, never materializing the trace.
+	Streamed bool
+	// RefsPerSec is the streamed run's throughput.
+	RefsPerSec float64
+	// PeakInuseBytes is the live-heap high-water mark sampled during the
+	// streamed run.
+	PeakInuseBytes int64
+}
+
+// RunJSONMeta is RunJSON plus the run's transport metadata.
+func (s *Server) RunJSONMeta(body []byte) (val []byte, meta RunMeta, err error) {
 	s.requests.Inc()
 	req, err := ParseRequest(body)
 	if err != nil {
-		return nil, false, err
+		return nil, meta, err
 	}
 	start := time.Now()
 	key := req.Key()
 	if cached, ok := s.cache.get(key); ok {
 		s.cacheHits.Inc()
 		s.latencyHit.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-		return cached, true, nil
+		meta.CacheHit = true
+		return cached, meta, nil
 	}
 	s.cacheMiss.Inc()
 	val, err, shared := s.group.do(key, func() ([]byte, error) {
 		// Double-check the cache inside the flight: a previous leader may
 		// have filled it between our lookup and joining the group.
 		if cached, ok := s.cache.get(key); ok {
+			meta.CacheHit = true
 			return cached, nil
 		}
-		return s.execute(req, key)
+		b, m, err := s.execute(req, key)
+		if err == nil {
+			meta = m
+		}
+		return b, err
 	})
 	if shared {
 		s.deduped.Inc()
@@ -252,12 +451,12 @@ func (s *Server) RunJSON(body []byte) (val []byte, cacheHit bool, err error) {
 				s.failed.Inc()
 			}
 		}
-		return nil, false, err
+		return nil, RunMeta{}, err
 	}
 	// Only completed work lands in the miss series: fast failures (429,
 	// 400) would otherwise drag the computed-run distribution down.
 	s.latencyMiss.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-	return val, false, nil
+	return val, meta, nil
 }
 
 // writeResult sends a cached or fresh Result JSON body. The bytes are
@@ -273,11 +472,21 @@ func (s *Server) writeResult(w http.ResponseWriter, body []byte, xcache string) 
 // execute resolves the request into options, runs it on the worker pool
 // under its deadline, and caches the serialized result. Called at most
 // once per in-flight key (the singleflight leader).
-func (s *Server) execute(req *Request, key string) ([]byte, error) {
-	opts, err := req.Options(s.loadTrace)
+func (s *Server) execute(req *Request, key string) ([]byte, RunMeta, error) {
+	opts, cleanup, err := req.BuildOptions(SourceEnv{
+		LoadTrace: s.loadTrace,
+		OpenHash: func(hash string) (io.ReadSeekCloser, error) {
+			st, err := s.TraceStore()
+			if err != nil {
+				return nil, err
+			}
+			return st.Open(hash)
+		},
+	})
 	if err != nil {
-		return nil, err
+		return nil, RunMeta{}, err
 	}
+	defer cleanup()
 	ctx := context.Background()
 	if timeout := s.timeoutFor(req); timeout > 0 {
 		var cancel context.CancelFunc
@@ -287,6 +496,7 @@ func (s *Server) execute(req *Request, key string) ([]byte, error) {
 	var (
 		res    ppcsim.Result
 		runErr error
+		meta   RunMeta
 		done   = make(chan struct{})
 	)
 	job := func() {
@@ -304,22 +514,78 @@ func (s *Server) execute(req *Request, key string) ([]byte, error) {
 			return
 		}
 		s.runs.Inc()
+		if opts.Source == nil {
+			res, runErr = s.cfg.Runner(ctx, opts)
+			return
+		}
+		// Streaming run: sample the live heap while it executes and time
+		// it, so the flat-memory-ceiling and throughput claims are
+		// observable per run.
+		peakC := sampleHeapPeak()
+		runStart := time.Now()
 		res, runErr = s.cfg.Runner(ctx, opts)
+		elapsed := time.Since(runStart)
+		meta.Streamed = true
+		meta.PeakInuseBytes = peakC()
+		if elapsed > 0 {
+			meta.RefsPerSec = float64(opts.Source.Meta().Refs) / elapsed.Seconds()
+		}
 	}
 	if err := s.pool.submit(job); err != nil {
-		return nil, err
+		return nil, RunMeta{}, err
 	}
 	<-done
 	if runErr != nil {
-		return nil, runErr
+		return nil, RunMeta{}, runErr
+	}
+	if meta.Streamed {
+		s.streamed.Inc()
+		for {
+			cur := s.peakInuse.Load()
+			if meta.PeakInuseBytes <= cur || s.peakInuse.CompareAndSwap(cur, meta.PeakInuseBytes) {
+				break
+			}
+		}
+		s.lastRefsPerSec.Store(math.Float64bits(meta.RefsPerSec))
 	}
 	body, err := json.Marshal(res)
 	if err != nil {
-		return nil, err
+		return nil, RunMeta{}, err
 	}
 	s.cache.put(key, body)
 	s.completed.Inc()
-	return body, nil
+	return body, meta, nil
+}
+
+// sampleHeapPeak starts a sampler goroutine polling the runtime's
+// live-heap gauge and returns a stop function that ends the sampler,
+// waits for it, and reports the peak it saw.
+func sampleHeapPeak() func() int64 {
+	var peak int64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			metrics.Read(sample)
+			if v := int64(sample[0].Value.Uint64()); v > peak {
+				peak = v
+			}
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return func() int64 {
+		close(stop)
+		<-sampled
+		return peak
+	}
 }
 
 // timeoutFor resolves a request's simulation deadline: the request's
@@ -397,6 +663,16 @@ type Stats struct {
 
 	Simulations int64 `json:"simulations"`
 
+	// Streaming telemetry: StreamedRuns counts simulations that ran
+	// through Options.Source, PeakInuseBytes is the live-heap high-water
+	// mark across them, and LastRefsPerSec is the most recent streamed
+	// run's throughput. TraceStore appears once the content-addressed
+	// store has been touched.
+	StreamedRuns   int64             `json:"streamed_runs"`
+	PeakInuseBytes int64             `json:"peak_inuse_bytes"`
+	LastRefsPerSec float64           `json:"last_refs_per_sec"`
+	TraceStore     *tracestore.Stats `json:"trace_store,omitempty"`
+
 	// LatencyHit covers requests answered from the result cache;
 	// LatencyMiss covers requests that waited on a computed run (their
 	// own or a deduplicated leader's). Separate series keep cache hits
@@ -408,27 +684,36 @@ type Stats struct {
 // Snapshot collects the current service statistics.
 func (s *Server) Snapshot() Stats {
 	st := Stats{
-		Draining:      s.draining.Load(),
-		Workers:       s.cfg.Workers,
-		QueueDepth:    s.pool.depth(),
-		QueueCapacity: s.cfg.QueueDepth,
-		Requests:      s.requests.Load(),
-		Completed:     s.completed.Load(),
-		Failed:        s.failed.Load(),
-		Rejected:      s.rejected.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Deduped:       s.deduped.Load(),
-		CacheEntries:  s.cache.len(),
-		CacheCapacity: s.cfg.CacheEntries,
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMiss.Load(),
-		Simulations:   s.runs.Load(),
-		LatencyHit:    Summarize(&s.latencyHit),
-		LatencyMiss:   Summarize(&s.latencyMiss),
+		Draining:       s.draining.Load(),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     s.pool.depth(),
+		QueueCapacity:  s.cfg.QueueDepth,
+		Requests:       s.requests.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Rejected:       s.rejected.Load(),
+		Timeouts:       s.timeouts.Load(),
+		Deduped:        s.deduped.Load(),
+		CacheEntries:   s.cache.len(),
+		CacheCapacity:  s.cfg.CacheEntries,
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMiss.Load(),
+		Simulations:    s.runs.Load(),
+		StreamedRuns:   s.streamed.Load(),
+		PeakInuseBytes: s.peakInuse.Load(),
+		LastRefsPerSec: math.Float64frombits(s.lastRefsPerSec.Load()),
+		LatencyHit:     Summarize(&s.latencyHit),
+		LatencyMiss:    Summarize(&s.latencyMiss),
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
 	}
+	s.storeMu.Lock()
+	if s.store != nil {
+		ts := s.store.Stats()
+		st.TraceStore = &ts
+	}
+	s.storeMu.Unlock()
 	return st
 }
 

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+
+	"ppcsim"
+	"ppcsim/internal/serve/tracestore"
+	"ppcsim/internal/trace"
+)
+
+// columnarBody renders a small deterministic trace as the base64
+// columnar inline form, returning the encoded text and the raw bytes.
+func columnarBody(t *testing.T, name string, nBlocks, nRefs int) (string, []byte) {
+	t.Helper()
+	tr, err := trace.Read(strings.NewReader(inlineTrace(name, nBlocks, nRefs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var col bytes.Buffer
+	if _, err := trace.WriteColumnar(&col, tr.Source()); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(col.Bytes()), col.Bytes()
+}
+
+// TestGeneratorSpecRunsStreamed: a trace_spec cell runs through
+// Options.Source (meta.Streamed, throughput and heap observations set)
+// and its Result is byte-identical to materializing the same generator
+// locally and running it with the same options.
+func TestGeneratorSpecRunsStreamed(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	body := []byte(`{"trace_spec":{"refs":30000,"blocks":512,"pattern":"zipf","seed":3},"algorithm":"forestall","disks":2,"window":256}`)
+	val, meta, err := s.RunJSONMeta(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Streamed {
+		t.Fatal("generator-spec run did not stream")
+	}
+	if meta.RefsPerSec <= 0 || meta.PeakInuseBytes <= 0 {
+		t.Fatalf("missing streaming observations: %+v", meta)
+	}
+
+	spec := ppcsim.LargeTraceSpec{Refs: 30000, Blocks: 512, Pattern: "zipf", Seed: 3}
+	src, err := spec.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ppcsim.MaterializeTrace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ppcsim.Run(ppcsim.Options{
+		Trace: tr, Algorithm: ppcsim.Forestall, Disks: 2,
+		Hints: &ppcsim.HintSpec{Fraction: 1, Accuracy: 1, Window: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(val, want) {
+		t.Errorf("streamed and materialized results differ:\nstreamed:     %s\nmaterialized: %s", val, want)
+	}
+
+	// The transport metadata must stay out of the cached body: a replay
+	// returns the same bytes with zero fresh observations.
+	val2, meta2, err := s.RunJSONMeta(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta2.CacheHit || meta2.Streamed || meta2.RefsPerSec != 0 {
+		t.Fatalf("replay meta = %+v, want pure cache hit", meta2)
+	}
+	if !bytes.Equal(val, val2) {
+		t.Error("cache replay returned different bytes")
+	}
+
+	st := s.Snapshot()
+	if st.StreamedRuns != 1 || st.PeakInuseBytes <= 0 || st.LastRefsPerSec <= 0 {
+		t.Errorf("statsz missing streaming telemetry: %+v", st)
+	}
+}
+
+// TestInlineColumnarWindowStreams: the satellite fix — an inline base64
+// columnar body with a bounded window must route through Options.Source
+// instead of materializing, and still produce the exact bytes of the
+// materialized text-format run with the same options.
+func TestInlineColumnarWindowStreams(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	b64, _ := columnarBody(t, "colwin", 64, 400)
+	resp, gotCol := post(t, ts, fmt.Sprintf(`{"trace_text":%q,"algorithm":"fixed-horizon","disks":2,"window":32}`, b64))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("columnar status %d: %s", resp.StatusCode, gotCol)
+	}
+	if resp.Header.Get("X-Streamed") != "1" {
+		t.Error("windowed inline columnar run did not stream")
+	}
+	if resp.Header.Get("X-Refs-Per-Sec") == "" || resp.Header.Get("X-Peak-Inuse-Bytes") == "" {
+		t.Error("streamed response missing observation headers")
+	}
+
+	resp, gotText := post(t, ts, fmt.Sprintf(`{"trace_text":%q,"algorithm":"fixed-horizon","disks":2,"window":32}`,
+		inlineTrace("colwin", 64, 400)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text status %d: %s", resp.StatusCode, gotText)
+	}
+	if resp.Header.Get("X-Streamed") == "1" {
+		t.Error("text-format run claims to stream")
+	}
+	if !bytes.Equal(gotCol, gotText) {
+		t.Errorf("streamed columnar and materialized text runs differ:\ncolumnar: %s\ntext:     %s", gotCol, gotText)
+	}
+
+	// Without a window the columnar body still materializes (offline
+	// algorithms and unlimited lookahead stay available).
+	resp, got := post(t, ts, fmt.Sprintf(`{"trace_text":%q,"algorithm":"reverse-aggressive"}`, b64))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("offline columnar status %d: %s", resp.StatusCode, got)
+	}
+	if resp.Header.Get("X-Streamed") == "1" {
+		t.Error("windowless columnar run claims to stream")
+	}
+}
+
+// TestTraceStoreEndpoints drives the worker's /v1/traces surface: PUT
+// verifies and stores, duplicate PUTs are acknowledged without a new
+// blob, HEAD probes, GET round-trips the bytes, and a trace_hash run
+// cell streams from the stored blob with the exact result bytes of the
+// same trace submitted inline.
+func TestTraceStoreEndpoints(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	b64, raw := columnarBody(t, "stored", 64, 400)
+	hash := tracestore.HashBytes(raw)
+	url := ts.URL + "/v1/traces/" + hash
+
+	do := func(method, u string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, u, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Probe before upload: 404.
+	if resp := do(http.MethodHead, url, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD before upload: %d", resp.StatusCode)
+	}
+	// Upload: 201, then duplicate: 200.
+	if resp := do(http.MethodPut, url, raw); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT: %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, url, raw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate PUT: %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodHead, url, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("HEAD after upload: %d", resp.StatusCode)
+	}
+	// GET round-trips the exact bytes.
+	resp := do(http.MethodGet, url, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("GET bytes differ from upload")
+	}
+
+	// Wrong-hash and malformed-hash uploads are 400s naming the field.
+	otherHash := tracestore.HashBytes([]byte("not the blob"))
+	if resp := do(http.MethodPut, ts.URL+"/v1/traces/"+otherHash, raw); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched PUT: %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodPut, ts.URL+"/v1/traces/nothex", raw); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed-hash PUT: %d", resp.StatusCode)
+	}
+
+	// A trace_hash cell streams from the store and matches the inline
+	// submission of the same trace byte for byte.
+	resp, gotHash := post(t, ts, fmt.Sprintf(`{"trace_hash":%q,"algorithm":"forestall","disks":2,"window":32}`, hash))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace_hash run: %d: %s", resp.StatusCode, gotHash)
+	}
+	if resp.Header.Get("X-Streamed") != "1" {
+		t.Error("trace_hash run did not stream")
+	}
+	resp, gotInline := post(t, ts, fmt.Sprintf(`{"trace_text":%q,"algorithm":"forestall","disks":2,"window":32}`, b64))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline run: %d: %s", resp.StatusCode, gotInline)
+	}
+	if !bytes.Equal(gotHash, gotInline) {
+		t.Errorf("hash-named and inline runs differ:\nhash:   %s\ninline: %s", gotHash, gotInline)
+	}
+
+	// A run naming an absent hash is a 400 the client can act on.
+	resp, got := post(t, ts, fmt.Sprintf(`{"trace_hash":%q,"algorithm":"demand","window":32}`, otherHash))
+	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("absent-hash run: %d: %s", resp.StatusCode, got)
+	}
+
+	// The store shows up in statsz once touched.
+	if st := s.Snapshot(); st.TraceStore == nil || st.TraceStore.Entries != 1 {
+		t.Errorf("statsz trace store: %+v", s.Snapshot().TraceStore)
+	}
+}
+
+// heapInuse reads the live-heap gauge the streaming sampler polls.
+func heapInuse() int64 {
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(sample)
+	return int64(sample[0].Value.Uint64())
+}
+
+// TestStreamingRunMemoryCeiling is the memory regression the streaming
+// path exists for: a multi-million-reference generator cell must not
+// materialize its reference slice. The run's observed live-heap growth
+// over the pre-run baseline must stay far under the materialized
+// footprint (refs × sizeof(Ref) alone would be ~3x the ceiling).
+func TestStreamingRunMemoryCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates live-heap readings")
+	}
+	if testing.Short() {
+		t.Skip("multi-million-reference simulation")
+	}
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	const refs = 3_000_000
+	const ceiling = 24 << 20 // materializing would cost >= refs * 16B = 48 MiB
+	runtime.GC()
+	base := heapInuse()
+
+	body := fmt.Sprintf(`{"trace_spec":{"refs":%d,"blocks":65536},"algorithm":"forestall","disks":2,"window":1024}`, refs)
+	_, meta, err := s.RunJSONMeta([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Streamed {
+		t.Fatal("generator run did not stream")
+	}
+	if meta.PeakInuseBytes <= 0 {
+		t.Fatal("no heap observation")
+	}
+	if grew := meta.PeakInuseBytes - base; grew > ceiling {
+		t.Errorf("streamed %d-ref run grew the live heap %d bytes (ceiling %d): streaming is materializing",
+			refs, grew, ceiling)
+	}
+	t.Logf("refs/sec %.0f, peak in-use %d bytes (baseline %d)", meta.RefsPerSec, meta.PeakInuseBytes, base)
+}

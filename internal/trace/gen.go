@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"ppcsim/internal/layout"
 )
@@ -574,6 +576,65 @@ type LargeSpec struct {
 	CacheBlocks int
 }
 
+// Canonical returns the spec with every defaulted field spelled out —
+// the name resolved, the pattern, file count, cache size, and mean
+// compute filled with the values Source would use. Two specs with equal
+// Canonical forms generate identical reference streams, which is what
+// lets the serving layer derive one cache key per distinct workload.
+func (l LargeSpec) Canonical() LargeSpec {
+	c := l
+	if c.Pattern == "" {
+		c.Pattern = "loop"
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("large-%s-%d", c.Pattern, c.Refs)
+	}
+	if c.Files <= 0 {
+		c.Files = 1
+	}
+	if c.CacheBlocks == 0 {
+		c.CacheBlocks = defaultCacheBlocks
+	}
+	if c.MeanComputeMs == 0 { //ppcvet:ignore unset-config sentinel, assigned by the caller rather than computed
+		c.MeanComputeMs = 0.1
+	}
+	return c
+}
+
+// ResolvedName returns the trace name Source will report: the explicit
+// Name, or the deterministic default derived from pattern and length.
+func (l LargeSpec) ResolvedName() string { return l.Canonical().Name }
+
+// ParseLargeSpec parses the CLI shorthand for a large synthetic trace:
+// refs[:blocks[:pattern[:seed]]]. The reference count accepts scientific
+// notation (1e9) since that is how trace lengths are naturally spoken
+// of; blocks defaults to 65536.
+func ParseLargeSpec(s string) (LargeSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) > 4 {
+		return LargeSpec{}, fmt.Errorf("large spec %q: want refs[:blocks[:pattern[:seed]]]", s)
+	}
+	refs, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || refs < 1 || refs != float64(int64(refs)) { //ppcvet:ignore exact integrality check on a parsed count, not simulation time
+		return LargeSpec{}, fmt.Errorf("large spec %q: bad reference count %q", s, parts[0])
+	}
+	spec := LargeSpec{Refs: int64(refs), Blocks: 65536}
+	if len(parts) > 1 {
+		if spec.Blocks, err = strconv.Atoi(parts[1]); err != nil {
+			return LargeSpec{}, fmt.Errorf("large spec %q: bad block count %q", s, parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		spec.Pattern = parts[2]
+	}
+	if len(parts) > 3 {
+		if spec.Seed, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+			return LargeSpec{}, fmt.Errorf("large spec %q: bad seed %q", s, parts[3])
+		}
+	}
+	return spec, nil
+}
+
 // Validate checks the spec's ranges.
 func (l *LargeSpec) Validate() error {
 	if l.Refs <= 0 {
@@ -601,28 +662,9 @@ func (l LargeSpec) Source() (Source, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
-	pattern := l.Pattern
-	if pattern == "" {
-		pattern = "loop"
-	}
-	name := l.Name
-	if name == "" {
-		name = fmt.Sprintf("large-%s-%d", pattern, l.Refs)
-	}
-	files := l.Files
-	if files <= 0 {
-		files = 1
-	}
-	cacheBlocks := l.CacheBlocks
-	if cacheBlocks == 0 {
-		cacheBlocks = defaultCacheBlocks
-	}
-	mean := l.MeanComputeMs
-	if mean == 0 { //ppcvet:ignore unset-config sentinel, assigned by the caller rather than computed
-		mean = 0.1
-	}
-	fs := make([]layout.File, files)
-	base, rem := l.Blocks/files, l.Blocks%files
+	c := l.Canonical()
+	fs := make([]layout.File, c.Files)
+	base, rem := l.Blocks/c.Files, l.Blocks%c.Files
 	next := 0
 	for i := range fs {
 		n := base
@@ -635,13 +677,13 @@ func (l LargeSpec) Source() (Source, error) {
 	s := &largeSource{
 		spec: l,
 		meta: Meta{
-			Name:        name,
+			Name:        c.Name,
 			Files:       fs,
-			CacheBlocks: cacheBlocks,
+			CacheBlocks: c.CacheBlocks,
 			Refs:        l.Refs,
 		},
-		pattern: pattern,
-		mean:    mean,
+		pattern: c.Pattern,
+		mean:    c.MeanComputeMs,
 	}
 	if err := s.Reset(); err != nil {
 		return nil, err

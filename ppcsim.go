@@ -56,6 +56,13 @@ type LargeTraceSpec = trace.LargeSpec
 // TraceSource; Close it when done.
 type ColumnarTraceFile = trace.FileSource
 
+// ParseLargeTraceSpec parses the CLI shorthand for a large synthetic
+// trace, refs[:blocks[:pattern[:seed]]], with scientific-notation
+// reference counts (1e9) and a 65536-block default.
+func ParseLargeTraceSpec(s string) (LargeTraceSpec, error) {
+	return trace.ParseLargeSpec(s)
+}
+
 // OpenColumnarTrace opens a trace file in the columnar binary format
 // (see docs/trace-format.md) as a streaming TraceSource.
 func OpenColumnarTrace(path string) (*ColumnarTraceFile, error) {

@@ -88,6 +88,54 @@ assert st["cells_failed"] == 0, st
 print("store replay confirmed: %d cells, %d recomputed" % (total, st["cells_done"] - total))
 '
 
+echo "== streaming leg: 10^7-ref generator sweep sharded across the fleet"
+LARGE="1e7:65536:zipf:1"
+STREAMGRID=(-large "$LARGE" -algs aggressive,forestall -disks 2 -windows 4096)
+"$WORK/ppc-job" -coord "http://127.0.0.1:$COORD_PORT" \
+    "${STREAMGRID[@]}" -csv -o "$WORK/stream-cluster.csv" 2>"$WORK/stream.log"
+cat "$WORK/stream.log"
+
+echo "== run the same sweep locally (ppc-sweep -large)"
+"$WORK/ppc-sweep" -large "$LARGE" -algs aggressive,forestall -disks 2 -window 4096 \
+    -o "$WORK/stream-local.csv"
+
+echo "== diff streamed cluster vs local streamed sweep"
+if ! diff "$WORK/stream-cluster.csv" "$WORK/stream-local.csv"; then
+    echo "FAIL: streamed cluster results are not byte-identical to a local -large sweep" >&2
+    exit 1
+fi
+echo "byte-identical"
+
+echo "== streaming throughput floor via worker /v1/statsz"
+for port in "$W1_PORT" "$W2_PORT"; do
+    curl -sf "http://127.0.0.1:$port/v1/statsz"
+    echo
+done | python3 -c '
+import json, sys
+floor = 50_000  # refs/sec; ~100x below typical, catches accidental materialization or quadratic regressions
+stats = [json.loads(line) for line in sys.stdin if line.strip()]
+streamed = sum(st["streamed_runs"] for st in stats)
+assert streamed >= 2, stats  # both cells streamed (one per worker on an even shard, but >=2 total regardless)
+best = max(st["last_refs_per_sec"] for st in stats)
+assert best >= floor, "streamed throughput %.0f refs/sec below floor %d" % (best, floor)
+peak = max(st["peak_inuse_bytes"] for st in stats)
+assert 0 < peak < 512 << 20, "peak in-use %d bytes implausible for a streamed run" % peak
+print("streamed %d cells, best %.0f refs/sec, peak in-use %.1f MiB" % (streamed, best, peak / 2**20))
+'
+
+echo "== resubmit the streamed sweep: must replay from the persisted store"
+"$WORK/ppc-job" -coord "http://127.0.0.1:$COORD_PORT" \
+    "${STREAMGRID[@]}" -csv -o "$WORK/stream-replay.csv" 2>"$WORK/stream-replay.log"
+cat "$WORK/stream-replay.log"
+if ! diff "$WORK/stream-replay.csv" "$WORK/stream-local.csv"; then
+    echo "FAIL: streamed store replay differs from the local sweep" >&2
+    exit 1
+fi
+if ! grep -q '2 from store' "$WORK/stream-replay.log"; then
+    echo "FAIL: streamed resubmission was not served from the store" >&2
+    exit 1
+fi
+
 echo "== coordinator log"
 cat "$WORK/coord.log"
 echo "PASS"
